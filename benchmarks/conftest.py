@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates the data series behind one of the paper's tables
+or figures (laptop-scale workloads) and asserts the paper's qualitative
+shape.  Expensive Monte-Carlo kernels are run through
+``benchmark.pedantic(rounds=1)`` so the suite stays fast while still
+reporting wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer and return its result."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return _run

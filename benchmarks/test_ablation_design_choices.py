@@ -1,0 +1,93 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Measurement-persistence window (1 / 2 / 4 rounds): accuracy-vs-hardware
+   trade-off of Section 4.3 — more rounds cost DFFs and gates but never hurt
+   coverage.
+2. Provisioning percentile (50 → 99.99): the statistical-allocation knob of
+   Section 5.1.
+3. Zero-suppression-only strawman vs the Clique decoder: the Fig. 12
+   argument that a real trivial-case decoder is required.
+"""
+
+from __future__ import annotations
+
+from repro.bandwidth.afs import clique_offchip_reduction, zero_suppression_reduction
+from repro.bandwidth.allocation import provisioning_sweep
+from repro.codes.rotated_surface import get_code
+from repro.hardware.estimates import clique_overheads
+from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.coverage import simulate_clique_coverage
+
+
+def test_ablation_measurement_rounds(run_once):
+    """More persistence rounds: strictly more hardware, never less coverage."""
+
+    def sweep():
+        code = get_code(9)
+        noise = PhenomenologicalNoise(5e-3)
+        rows = []
+        for rounds in (1, 2, 4):
+            coverage = simulate_clique_coverage(
+                code, noise, 20_000, measurement_rounds=rounds, rng=41
+            )
+            overheads = clique_overheads(9, measurement_rounds=rounds)
+            rows.append(
+                {
+                    "rounds": rounds,
+                    "coverage": coverage.coverage,
+                    "power_uw": overheads.power_uw,
+                    "jj": overheads.jj_count,
+                }
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print()
+    for row in rows:
+        print(row)
+    powers = [row["power_uw"] for row in rows]
+    coverages = [row["coverage"] for row in rows]
+    assert powers == sorted(powers)
+    assert coverages[0] <= coverages[1] + 0.01
+    assert coverages[1] <= coverages[2] + 0.01
+    # The paper's 2-round primary design: small power overhead over 1 round.
+    assert powers[1] < 1.6 * powers[0]
+
+
+def test_ablation_provisioning_percentile(run_once):
+    """Percentile sweep: capacity (and thus stall risk) falls as the percentile drops."""
+
+    def sweep():
+        return provisioning_sweep(1000, 0.05)
+
+    plans = run_once(sweep)
+    print()
+    for plan in plans:
+        print(plan)
+    capacities = [plan.decodes_per_cycle for plan in plans]
+    reductions = [plan.bandwidth_reduction for plan in plans]
+    assert capacities == sorted(capacities)
+    assert reductions == sorted(reductions, reverse=True)
+    # Even the most conservative default percentile keeps a >5x reduction.
+    assert reductions[-1] > 5.0
+
+
+def test_ablation_zero_suppression_vs_clique(run_once):
+    """Zero suppression alone is not enough near threshold (Fig. 12 argument)."""
+
+    def sweep():
+        code = get_code(13)
+        noise = PhenomenologicalNoise(1e-2)
+        coverage = simulate_clique_coverage(code, noise, 20_000, rng=42)
+        return {
+            "clique_reduction": clique_offchip_reduction(
+                max(coverage.offchip_fraction, 1e-4)
+            ),
+            "zero_suppression_reduction": zero_suppression_reduction(13, 1e-2),
+        }
+
+    result = run_once(sweep)
+    print()
+    print(result)
+    assert result["clique_reduction"] > 3 * result["zero_suppression_reduction"]
+    assert result["zero_suppression_reduction"] < 2.0

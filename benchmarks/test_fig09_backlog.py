@@ -1,0 +1,30 @@
+"""Fig. 9 — decode backlog under mean vs 99th-percentile provisioning."""
+
+from __future__ import annotations
+
+from repro.experiments import fig09
+
+
+def test_fig09_backlog(run_once):
+    result = run_once(
+        fig09.run,
+        coverage_cycles=20_000,
+        timeline_cycles=100,
+        seed=2027,
+        percentiles=(50.0, 99.0),
+    )
+    print()
+    print(result.format_table())
+
+    mean_row = next(row for row in result.rows if row["percentile"] == 50.0)
+    high_row = next(row for row in result.rows if row["percentile"] == 99.0)
+    # Shape 1: mean provisioning stalls on the vast majority of cycles (or
+    # aborts outright); 99th-percentile provisioning almost never stalls.
+    assert (not mean_row["completed"]) or mean_row["stall_fraction"] > 0.5
+    assert high_row["stall_fraction"] < 0.2
+    # Shape 2: the 99th-percentile link is only modestly larger than the mean.
+    assert high_row["provisioned_decodes_per_cycle"] <= 2 * max(
+        mean_row["provisioned_decodes_per_cycle"], 1
+    )
+    # Shape 3: backlogs stay bounded at the high percentile.
+    assert high_row["max_backlog"] <= high_row["provisioned_decodes_per_cycle"]

@@ -1,0 +1,37 @@
+"""Fig. 11 — Clique on-chip decode coverage vs code distance and error rate."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11
+
+
+def test_fig11_coverage(run_once):
+    result = run_once(
+        fig11.run,
+        cycles=20_000,
+        distances=(3, 5, 7, 9, 11, 13, 17, 21),
+        error_rates=(1e-4, 1e-3, 5e-3, 1e-2),
+        seed=2023,
+    )
+    print()
+    print(result.format_table())
+
+    by_rate: dict[float, list[tuple[int, float]]] = {}
+    for row in result.rows:
+        by_rate.setdefault(row["physical_error_rate"], []).append(
+            (row["code_distance"], row["coverage_pct"])
+        )
+
+    # Shape 1: coverage stays >= ~70% even in the hardest corner (p=1e-2, d=21).
+    hardest = dict(by_rate[1e-2])[21]
+    assert hardest > 60.0
+    # Shape 2: coverage approaches 100% at low error rates for every distance.
+    assert all(coverage > 99.0 for _, coverage in by_rate[1e-4])
+    # Shape 3: at fixed distance, coverage decreases with the error rate.
+    for distance in (7, 21):
+        series = [dict(by_rate[rate])[distance] for rate in (1e-4, 1e-3, 5e-3, 1e-2)]
+        assert series == sorted(series, reverse=True)
+    # Shape 4: at the highest rate, coverage decreases with distance.
+    worst_rate = sorted(by_rate[1e-2])
+    coverages = [coverage for _, coverage in worst_rate]
+    assert coverages[0] > coverages[-1]

@@ -1,0 +1,40 @@
+"""Fig. 12 — share of on-chip decodes that are not all-zeros."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12
+
+
+def test_fig12_nonzero_coverage(run_once):
+    result = run_once(
+        fig12.run,
+        cycles=20_000,
+        distances=(3, 7, 13, 21),
+        error_rates=(1e-4, 1e-3, 1e-2),
+        seed=2024,
+    )
+    print()
+    print(result.format_table())
+
+    def share(rate: float, distance: int) -> float:
+        return next(
+            row["onchip_not_all_zeros_pct"]
+            for row in result.rows
+            if row["physical_error_rate"] == rate and row["code_distance"] == distance
+        )
+
+    # Shape 1: near threshold and at high distance, nearly every on-chip decode
+    # carries a non-zero signature (zero suppression alone would not help).
+    assert share(1e-2, 21) > 90.0
+    # Shape 2: at very low error rates most decodes are all-zeros, so the share
+    # is small.
+    assert share(1e-4, 3) < 20.0
+    # Shape 3: the share grows with the error rate at fixed distance.
+    assert share(1e-4, 13) < share(1e-3, 13) < share(1e-2, 13)
+    # Shape 4: non-zero signatures that exist are still overwhelmingly handled
+    # on-chip away from threshold.
+    assert all(
+        row["nonzero_handled_onchip_pct"] > 80.0
+        for row in result.rows
+        if row["physical_error_rate"] <= 1e-3
+    )

@@ -1,0 +1,40 @@
+"""Fig. 13 — off-chip data reduction: Clique vs AFS sparse compression."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13
+
+
+def test_fig13_afs_comparison(run_once):
+    result = run_once(
+        fig13.run,
+        cycles=20_000,
+        distances=(3, 5, 7, 9, 11, 13, 17, 21),
+        error_rates=(1e-3, 5e-3, 1e-2),
+        seed=2025,
+    )
+    print()
+    print(result.format_table())
+
+    # Shape 1: Clique beats AFS at every evaluated point, and by at least an
+    # order of magnitude somewhere on the grid (the paper reports 10x-10000x).
+    ratios = [row["clique_vs_afs_x"] for row in result.rows]
+    assert all(ratio > 1.0 for ratio in ratios)
+    assert max(ratios) > 10.0
+    # Shape 2: AFS benefits grow with code distance at fixed error rate.
+    afs_at_1e3 = [
+        (row["code_distance"], row["afs_reduction_x"])
+        for row in result.rows
+        if row["physical_error_rate"] == 1e-3
+    ]
+    afs_series = [value for _, value in sorted(afs_at_1e3)]
+    assert afs_series[-1] > afs_series[0]
+    # Shape 3: Clique benefits shrink with code distance at the highest rate
+    # but remain above AFS.
+    clique_at_1e2 = [
+        (row["code_distance"], row["clique_reduction_x"])
+        for row in result.rows
+        if row["physical_error_rate"] == 1e-2
+    ]
+    clique_series = [value for _, value in sorted(clique_at_1e2)]
+    assert clique_series[0] > clique_series[-1]

@@ -1,0 +1,37 @@
+"""Fig. 14 — logical error rate of Clique+MWPM vs the MWPM baseline."""
+
+from __future__ import annotations
+
+from repro.experiments import fig14
+
+
+def test_fig14_logical_error_rate(run_once):
+    result = run_once(
+        fig14.run,
+        trials=800,
+        distances=(3, 5),
+        error_rates=(1e-2, 2e-2, 3e-2),
+        seed=2026,
+    )
+    print()
+    print(result.format_table())
+
+    for row in result.rows:
+        baseline = row["baseline_logical_error_rate"]
+        hierarchy = row["clique_logical_error_rate"]
+        # Shape 1: the hierarchy tracks the baseline closely — within the
+        # statistical envelope of the laptop-scale trial count plus the small
+        # design margin the paper acknowledges for the 2-round filter.
+        assert hierarchy <= max(2.0 * baseline, baseline + 0.03)
+        # Shape 2: the hierarchy keeps the large majority of rounds on-chip
+        # even while matching the baseline's accuracy.
+        assert row["onchip_round_fraction"] > 0.5
+
+    # Shape 3: both decoders' logical error rates grow with the physical rate.
+    for distance in (3, 5):
+        series = [
+            row["baseline_logical_error_rate"]
+            for row in result.rows
+            if row["code_distance"] == distance
+        ]
+        assert series[0] <= series[-1]

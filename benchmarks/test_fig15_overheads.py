@@ -1,0 +1,31 @@
+"""Fig. 15 — power, area and latency of the SFQ Clique decoder."""
+
+from __future__ import annotations
+
+from repro.experiments import fig15
+
+
+def test_fig15_overheads(run_once):
+    result = run_once(fig15.run, distances=(3, 5, 7, 9, 11, 13, 15, 17, 21))
+    print()
+    print(result.format_table())
+
+    by_distance = {row["code_distance"]: row for row in result.rows}
+
+    # Shape 1: the paper's absolute ranges — ~10 uW at d=3 growing to ~500 uW
+    # at d=21, under 100 mm^2 of area, and 0.1-0.3 ns latency throughout.
+    assert 3.0 <= by_distance[3]["power_uw"] <= 30.0
+    assert 150.0 <= by_distance[21]["power_uw"] <= 1000.0
+    assert by_distance[21]["area_mm2"] < 100.0
+    assert all(0.03 <= row["latency_ns"] <= 0.4 for row in result.rows)
+    # Shape 2: the d=9 comparison against NISQ+ (37x power, 25x area, 15x latency).
+    assert abs(by_distance[9]["nisqplus_power_x"] - 37.0) < 1.0
+    assert abs(by_distance[9]["nisqplus_area_x"] - 25.0) < 1.0
+    assert abs(by_distance[9]["nisqplus_latency_x"] - 15.0) < 1.0
+    # Shape 3: a single fridge supports thousands of logical qubits at d=21
+    # and ~100k at d=3 (Section 7.4).
+    assert by_distance[21]["fridge_logical_qubits"] >= 1000
+    assert by_distance[3]["fridge_logical_qubits"] >= 50_000
+    # Shape 4: power and area grow monotonically with distance.
+    powers = [row["power_uw"] for row in result.rows]
+    assert powers == sorted(powers)

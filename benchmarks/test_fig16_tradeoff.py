@@ -1,0 +1,49 @@
+"""Fig. 16 — bandwidth reduction vs execution-time increase trade-off."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig16
+
+
+def test_fig16_tradeoff(run_once):
+    result = run_once(
+        fig16.run,
+        operating_points=((1e-2, 11), (5e-3, 13), (1e-3, 9)),
+        percentiles=(50.0, 90.0, 99.0, 99.9),
+        coverage_cycles=20_000,
+        program_cycles=20_000,
+        seed=2028,
+    )
+    print()
+    print(result.format_table())
+
+    by_point: dict[tuple[float, int], list[dict]] = {}
+    for row in result.rows:
+        by_point.setdefault(
+            (row["physical_error_rate"], row["code_distance"]), []
+        ).append(row)
+
+    for point, rows in by_point.items():
+        rows = sorted(rows, key=lambda row: row["percentile"])
+        # Shape 1: bandwidth reduction shrinks as provisioning grows.
+        reductions = [row["bandwidth_reduction_x"] for row in rows]
+        assert reductions == sorted(reductions, reverse=True)
+        # Shape 2: aggressive (mean) provisioning either never completes or is
+        # drastically slower than conservative provisioning.
+        aggressive = rows[0]
+        conservative = rows[-1]
+        aggressive_cost = aggressive["execution_time_increase_pct"]
+        assert (not aggressive["completed"]) or math.isinf(aggressive_cost) or (
+            aggressive_cost >= conservative["execution_time_increase_pct"]
+        )
+        # Shape 3: a practical (<= ~10%) slowdown is achievable with a
+        # substantial bandwidth reduction at every operating point.
+        practical = [
+            row
+            for row in rows
+            if row["completed"] and row["execution_time_increase_pct"] <= 10.0
+        ]
+        assert practical, f"no practical provisioning found for {point}"
+        assert max(row["bandwidth_reduction_x"] for row in practical) >= 5.0

@@ -1,0 +1,30 @@
+"""Headline claims of Sections 1 and 7, regenerated end to end."""
+
+from __future__ import annotations
+
+from repro.experiments import headline
+
+
+def test_headline_claims(run_once):
+    result = run_once(
+        headline.run,
+        cycles=20_000,
+        points=((1e-2, 21), (5e-3, 13), (1e-3, 9), (5e-4, 5)),
+        seed=2029,
+    )
+    print()
+    print(result.format_table())
+
+    eliminations = [row["bandwidth_eliminated_pct"] for row in result.rows]
+    # Claim 1: 70-99+% off-chip bandwidth elimination across operating points.
+    assert min(eliminations) > 60.0
+    assert max(eliminations) > 99.0
+    # Claim 2: a multi-order-of-magnitude advantage over AFS somewhere on the
+    # grid, and an advantage everywhere.
+    ratios = [row["clique_vs_afs_x"] for row in result.rows]
+    assert all(ratio > 1.0 for ratio in ratios)
+    assert max(ratios) > 10.0
+    # Claim 3: 15-37x resource reduction vs NISQ+ at the d=9 anchor.
+    for row in result.rows:
+        assert row["nisqplus_power_x_at_d9"] >= 15.0
+        assert row["nisqplus_latency_x_at_d9"] >= 15.0 - 1e-9

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: size a cryogenic decoding system for a target application.
+
+Given a target application class (near-term variational vs long-term
+factoring-scale) and a physical error rate, this script:
+
+1. sizes the code distance with the calibrated scaling law (Fig. 4 labels),
+2. synthesises the Clique decoder for that distance and costs it with the
+   ERSFQ library of Table 1 (Fig. 15),
+3. checks how many logical qubits fit inside the dilution refrigerator's
+   ~1 W cooling budget, and compares against the NISQ+ on-chip decoder,
+4. estimates the off-chip bandwidth left after BTWC filtering.
+
+Run with:  python examples/cryogenic_budget_planner.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PhenomenologicalNoise,
+    RotatedSurfaceCode,
+    clique_overheads,
+    compare_with_nisqplus,
+    required_code_distance,
+    simulate_clique_coverage,
+)
+from repro.bandwidth.traffic import syndrome_bits_per_cycle
+
+APPLICATIONS = (
+    ("Variational chemistry (near term)", 1e-5),
+    ("Factoring / search (long term)", 1e-12),
+)
+PHYSICAL_ERROR_RATES = (5e-3, 1e-3, 5e-4)
+SYNDROME_CYCLE_HZ = 1e6  # one decode cycle per microsecond
+
+
+def main() -> None:
+    for application, target_logical_rate in APPLICATIONS:
+        print(f"### {application}  (target logical error rate {target_logical_rate:.0e})\n")
+        for physical_error_rate in PHYSICAL_ERROR_RATES:
+            distance = required_code_distance(physical_error_rate, target_logical_rate)
+            if distance > 31:
+                print(
+                    f"  p={physical_error_rate:.0e}: requires d={distance}; "
+                    "skipping the simulation-backed sizing (distance too large "
+                    "for a quick run, see EXPERIMENTS.md)."
+                )
+                continue
+            overheads = clique_overheads(distance)
+            comparison = compare_with_nisqplus(distance)
+            code = RotatedSurfaceCode(distance)
+            coverage = simulate_clique_coverage(
+                code, PhenomenologicalNoise(physical_error_rate), 20_000, rng=3
+            )
+            offchip_bits = (
+                syndrome_bits_per_cycle(distance)
+                * coverage.offchip_fraction
+                * SYNDROME_CYCLE_HZ
+            )
+            print(f"  p={physical_error_rate:.0e} -> d={distance}")
+            print(
+                f"    Clique decoder : {overheads.power_uw:8.1f} uW, "
+                f"{overheads.area_mm2:6.1f} mm^2, {overheads.latency_ns:5.2f} ns, "
+                f"{overheads.jj_count} JJs"
+            )
+            print(
+                f"    Fridge budget  : {overheads.supported_logical_qubits} logical qubits "
+                f"(vs {int(overheads.supported_logical_qubits / comparison['power_improvement'])} "
+                "with a NISQ+-class decoder)"
+            )
+            print(
+                f"    Off-chip need  : {coverage.coverage:.2%} of decodes stay on-chip; "
+                f"~{offchip_bits / 1e6:.2f} Mbps of syndrome traffic remain per logical qubit"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

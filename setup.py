@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` keeps working on offline machines whose
+setuptools predates bundled ``bdist_wheel`` support (no ``wheel`` package
+available).
+"""
+
+from setuptools import setup
+
+setup()

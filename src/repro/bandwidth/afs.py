@@ -1,0 +1,129 @@
+"""AFS sparse-representation syndrome compression (Section 7.2 / Fig. 13).
+
+AFS (Das et al., HPCA 2022) reduces off-chip traffic by compressing the
+syndrome before shipping it.  Its most effective scheme, *Sparse
+Representation*, sends a single bit when the ``N``-bit syndrome is all zeros
+and otherwise sends the indices of the ``k`` non-zero bits:
+
+    bits(k) = 1                      if k == 0
+    bits(k) = 1 + k * ceil(log2(N))  otherwise
+
+Clique instead eliminates the transfer entirely whenever the signature is
+trivially decodable on-chip and ships the *full* syndrome otherwise, so its
+average off-chip traffic is ``offchip_fraction * N`` bits per cycle.  The
+functions below compute both averages (analytically, using the per-ancilla
+flip probabilities of :mod:`repro.bandwidth.traffic`) so the Fig. 13
+comparison can be regenerated for any distance / error-rate grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bandwidth.traffic import (
+    expected_nonzero_syndrome_bits,
+    syndrome_bits_per_cycle,
+)
+from repro.codes.rotated_surface import get_code
+from repro.exceptions import ConfigurationError, InvalidProbabilityError
+from repro.types import StabilizerType
+
+
+def sparse_representation_bits(syndrome_length: int, num_nonzero: int) -> int:
+    """Compressed size (bits) of one syndrome under AFS Sparse Representation."""
+    if syndrome_length <= 0:
+        raise ConfigurationError(f"syndrome_length must be positive, got {syndrome_length}")
+    if not 0 <= num_nonzero <= syndrome_length:
+        raise ConfigurationError(
+            f"num_nonzero must be in [0, {syndrome_length}], got {num_nonzero}"
+        )
+    if num_nonzero == 0:
+        return 1
+    index_bits = max(1, math.ceil(math.log2(syndrome_length)))
+    return 1 + num_nonzero * index_bits
+
+
+def afs_average_compressed_bits(
+    distance: int,
+    data_error_rate: float,
+    measurement_error_rate: float | None = None,
+) -> float:
+    """Expected per-cycle compressed syndrome size under AFS.
+
+    Because the compressed size is affine in the number of set bits
+    (``1 + k * ceil(log2 N)``), its expectation only needs ``E[k]``.
+    """
+    if not 0.0 < data_error_rate < 1.0:
+        raise InvalidProbabilityError("data_error_rate", data_error_rate)
+    length = syndrome_bits_per_cycle(distance)
+    expected_nonzero = expected_nonzero_syndrome_bits(
+        distance, data_error_rate, measurement_error_rate
+    )
+    index_bits = max(1, math.ceil(math.log2(length)))
+    return 1.0 + index_bits * expected_nonzero
+
+
+def afs_compression_reduction(
+    distance: int,
+    data_error_rate: float,
+    measurement_error_rate: float | None = None,
+) -> float:
+    """Average off-chip data reduction factor achieved by AFS compression."""
+    length = syndrome_bits_per_cycle(distance)
+    return length / afs_average_compressed_bits(
+        distance, data_error_rate, measurement_error_rate
+    )
+
+
+def clique_offchip_reduction(offchip_fraction: float) -> float:
+    """Average off-chip data reduction factor achieved by the Clique decoder.
+
+    Args:
+        offchip_fraction: fraction of decode cycles whose signature must be
+            shipped off-chip (``1 - coverage``, measured by
+            :mod:`repro.simulation.coverage`).  When this is zero the
+            reduction is unbounded; ``math.inf`` is returned.
+    """
+    if not 0.0 <= offchip_fraction <= 1.0:
+        raise InvalidProbabilityError("offchip_fraction", offchip_fraction)
+    if offchip_fraction == 0.0:
+        return math.inf
+    return 1.0 / offchip_fraction
+
+
+def zero_suppression_reduction(
+    distance: int,
+    data_error_rate: float,
+    measurement_error_rate: float | None = None,
+) -> float:
+    """Reduction achieved by shipping the syndrome only when it is non-zero.
+
+    This is the strawman the paper's Fig. 12 argues against: near threshold
+    almost every cycle has a non-zero signature, so zero suppression alone
+    saves little.  Because neighbouring ancillas share data qubits their
+    flips are strongly correlated, so the all-zero probability is estimated
+    to first order as "no error event at all this cycle" (cancelling error
+    patterns are negligible at the rates of interest).
+    """
+    if measurement_error_rate is None:
+        measurement_error_rate = data_error_rate
+    code = get_code(distance)
+    num_measurements = sum(
+        code.num_ancillas_of_type(stype) for stype in StabilizerType
+    )
+    all_zero_probability = (1.0 - data_error_rate) ** code.num_data_qubits * (
+        1.0 - measurement_error_rate
+    ) ** num_measurements
+    nonzero_fraction = 1.0 - all_zero_probability
+    if nonzero_fraction == 0.0:
+        return math.inf
+    return 1.0 / nonzero_fraction
+
+
+__all__ = [
+    "sparse_representation_bits",
+    "afs_average_compressed_bits",
+    "afs_compression_reduction",
+    "clique_offchip_reduction",
+    "zero_suppression_reduction",
+]

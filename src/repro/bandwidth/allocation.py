@@ -1,0 +1,105 @@
+"""Statistical off-chip bandwidth allocation (Section 5.1 of the paper).
+
+A machine with ``Q`` logical qubits generates, every decode cycle, a random
+number of off-chip decode requests: each logical qubit independently needs
+the complex decoder with probability ``1 - coverage``.  Provisioning the
+off-chip link for the *mean* of that distribution leads to an unbounded
+decode backlog (Fig. 9 top), so the paper provisions for a high percentile
+instead (Fig. 9 bottom) and falls back to execution stalling for the rare
+overflow cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from repro.exceptions import BandwidthConfigurationError, InvalidProbabilityError
+
+
+@dataclass(frozen=True)
+class BandwidthPlan:
+    """A provisioning decision for the off-chip decode link.
+
+    Attributes:
+        num_logical_qubits: number of logical qubits sharing the link.
+        offchip_rate: per-qubit, per-cycle probability of needing an off-chip
+            decode (``1 - coverage``).
+        percentile: the percentile of the per-cycle request distribution the
+            link is provisioned for.
+        decodes_per_cycle: the resulting provisioned link capacity, in
+            off-chip decodes per cycle.
+    """
+
+    num_logical_qubits: int
+    offchip_rate: float
+    percentile: float
+    decodes_per_cycle: int
+
+    @property
+    def mean_requests_per_cycle(self) -> float:
+        return self.num_logical_qubits * self.offchip_rate
+
+    @property
+    def bandwidth_reduction(self) -> float:
+        """Reduction versus shipping every logical qubit's syndrome every cycle."""
+        if self.decodes_per_cycle == 0:
+            return float("inf")
+        return self.num_logical_qubits / self.decodes_per_cycle
+
+    @property
+    def headroom(self) -> float:
+        """Provisioned capacity divided by the mean demand (must exceed 1 to drain backlogs)."""
+        mean = self.mean_requests_per_cycle
+        if mean == 0:
+            return float("inf")
+        return self.decodes_per_cycle / mean
+
+
+def provision_for_percentile(
+    num_logical_qubits: int,
+    offchip_rate: float,
+    percentile: float,
+) -> BandwidthPlan:
+    """Provision the off-chip link for a percentile of the per-cycle demand.
+
+    The per-cycle demand is Binomial(``num_logical_qubits``, ``offchip_rate``);
+    the provisioned capacity is the smallest integer ``B`` with
+    ``P(demand <= B) >= percentile / 100``, never less than one decode per
+    cycle so the link can always make progress.
+    """
+    if num_logical_qubits <= 0:
+        raise BandwidthConfigurationError(
+            f"num_logical_qubits must be positive, got {num_logical_qubits}"
+        )
+    if not 0.0 <= offchip_rate <= 1.0:
+        raise InvalidProbabilityError("offchip_rate", offchip_rate)
+    if not 0.0 < percentile < 100.0:
+        raise BandwidthConfigurationError(
+            f"percentile must lie strictly between 0 and 100, got {percentile}"
+        )
+    demand = stats.binom(num_logical_qubits, offchip_rate)
+    capacity = int(demand.ppf(percentile / 100.0))
+    capacity = max(capacity, 1)
+    return BandwidthPlan(
+        num_logical_qubits=num_logical_qubits,
+        offchip_rate=offchip_rate,
+        percentile=percentile,
+        decodes_per_cycle=capacity,
+    )
+
+
+def provisioning_sweep(
+    num_logical_qubits: int,
+    offchip_rate: float,
+    percentiles: tuple[float, ...] = (50.0, 90.0, 95.0, 99.0, 99.9, 99.99),
+) -> list[BandwidthPlan]:
+    """Plans for a range of percentiles (the x-axis material of Fig. 16)."""
+    return [
+        provision_for_percentile(num_logical_qubits, offchip_rate, percentile)
+        for percentile in percentiles
+    ]
+
+
+__all__ = ["BandwidthPlan", "provision_for_percentile", "provisioning_sweep"]

@@ -1,0 +1,93 @@
+"""Command-line front-end: ``repro-qec`` / ``python -m repro``.
+
+Examples:
+    repro-qec list
+    repro-qec run fig11 --param cycles=5000 --param seed=7
+    repro-qec run fig15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.exceptions import ReproError
+from repro.experiments.registry import available_experiments, run_experiment
+
+
+def _parse_param(raw: str) -> tuple[str, object]:
+    """Parse a ``key=value`` override, guessing int/float/bool where possible."""
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {raw!r}")
+    key, text = raw.split("=", 1)
+    value: object
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        value = lowered == "true"
+    else:
+        try:
+            value = int(text)
+        except ValueError:
+            try:
+                value = float(text)
+            except ValueError:
+                value = text
+    return key, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qec",
+        description=(
+            "Reproduction of 'Better Than Worst-Case Decoding for Quantum "
+            "Error Correction' (ASPLOS 2023)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
+    run_parser.add_argument("experiment", help="experiment id (see 'list')")
+    run_parser.add_argument(
+        "--param",
+        action="append",
+        type=_parse_param,
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a runner keyword argument (repeatable)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "run":
+        params = dict(args.param)
+        try:
+            result = run_experiment(args.experiment, **params)
+        except (ReproError, TypeError, ValueError) as error:
+            # TypeError / ValueError typically mean a malformed --param value
+            # (e.g. a scalar where the runner expects a tuple).
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(result.format_table())
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

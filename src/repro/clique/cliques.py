@@ -1,0 +1,72 @@
+"""Clique neighbourhood construction (Fig. 5 of the paper).
+
+A *clique* is the local view of one ancilla ``a``: the same-type ancillas
+that share a data qubit with it (its "leaves" ``p``, ``q``, ``r``, ``s`` in
+the paper's notation), the data qubit shared with each leaf, and — for
+edge/corner ancillas — the data qubits through which an error chain can
+terminate directly on the lattice boundary.
+
+Bulk ancillas have four leaves; the paper's "1+2" and "1+1" special cases
+correspond to edge and corner cliques with two or one leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.rotated_surface import Ancilla, RotatedSurfaceCode
+from repro.types import Coord, StabilizerType
+
+
+@dataclass(frozen=True)
+class Clique:
+    """The Clique decoder's local view of a single ancilla.
+
+    Attributes:
+        ancilla: coordinate of the primary ("a") ancilla.
+        ancilla_index: syndrome-bit index of the primary ancilla.
+        neighbor_indices: syndrome-bit indices of the clique leaves.
+        neighbor_coords: coordinates of the clique leaves.
+        shared_qubits: for each leaf, the data qubit shared with the primary
+            ancilla (the qubit corrected when both are active).
+        boundary_qubits: data qubits adjacent to the primary ancilla that no
+            other same-type ancilla touches; non-empty only for edge/corner
+            cliques and used by the boundary special cases.
+    """
+
+    ancilla: Coord
+    ancilla_index: int
+    neighbor_indices: tuple[int, ...]
+    neighbor_coords: tuple[Coord, ...]
+    shared_qubits: tuple[Coord, ...]
+    boundary_qubits: tuple[Coord, ...]
+
+    @property
+    def num_neighbors(self) -> int:
+        return len(self.neighbor_indices)
+
+    @property
+    def has_boundary(self) -> bool:
+        return bool(self.boundary_qubits)
+
+
+def _clique_from_ancilla(ancilla: Ancilla, index_of: dict[Coord, int]) -> Clique:
+    return Clique(
+        ancilla=ancilla.coord,
+        ancilla_index=ancilla.index,
+        neighbor_indices=tuple(index_of[coord] for coord in ancilla.clique_neighbors),
+        neighbor_coords=ancilla.clique_neighbors,
+        shared_qubits=ancilla.shared_qubits,
+        boundary_qubits=ancilla.boundary_qubits,
+    )
+
+
+def build_cliques(code: RotatedSurfaceCode, stype: StabilizerType) -> tuple[Clique, ...]:
+    """Build one :class:`Clique` per ancilla of the given type, in index order."""
+    index_of = code.ancilla_index(stype)
+    return tuple(
+        _clique_from_ancilla(ancilla, index_of) for ancilla in code.ancillas(stype)
+    )
+
+
+__all__ = ["Clique", "build_cliques"]

@@ -1,0 +1,199 @@
+"""The Clique decoder proper (Section 4.2 and Figs. 5-6 of the paper).
+
+Decision rule, for every ancilla ``a`` whose syndrome bit is set (an *active
+clique*):
+
+* count how many of its clique leaves (same-type neighbouring ancillas) are
+  also set;
+* **odd** count  -> the active bit is explained by isolated single data
+  errors; the correction flips the data qubit shared with each set leaf;
+* **even** count -> a longer chain is present, unless the clique sits on the
+  lattice boundary and *no* leaf is set, in which case a single data error on
+  one of the clique's boundary qubits explains it (the paper's "1+1" and
+  "1+2" special cases) and flipping any one such qubit is a valid correction;
+* any active clique judged complex makes the whole signature complex and the
+  syndrome is handed to the off-chip decoder.
+
+The decision logic is a handful of combinational gates per clique (Fig. 6),
+which is what makes the decoder cheap enough for cryogenic implementation;
+its hardware cost is modelled in :mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clique.cliques import Clique, build_cliques
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.decoders.base import Decoder, DecodeResult
+from repro.types import Coord, StabilizerType
+
+
+def clique_rule(active: bool, set_neighbor_count: int, has_boundary: bool) -> bool:
+    """The per-clique decision of Fig. 5: return True when the clique is *complex*.
+
+    Args:
+        active: whether the clique's primary ancilla is set.
+        set_neighbor_count: how many of its clique leaves are set.
+        has_boundary: whether the clique owns at least one boundary data qubit.
+    """
+    if not active:
+        return False
+    if set_neighbor_count % 2 == 1:
+        return False
+    if set_neighbor_count == 0 and has_boundary:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class CliqueDecision:
+    """Outcome of running the Clique decision logic on one signature.
+
+    Attributes:
+        is_trivial: True when every active clique is locally explainable and
+            the correction below is valid; False when the signature must go
+            off-chip.
+        correction: data qubits to flip (empty when ``is_trivial`` is False or
+            the signature was all zeros).
+        active_cliques: coordinates of the ancillas that were set.
+        complex_cliques: coordinates of the active ancillas whose local parity
+            test failed (non-empty exactly when ``is_trivial`` is False).
+    """
+
+    is_trivial: bool
+    correction: frozenset[Coord] = frozenset()
+    active_cliques: tuple[Coord, ...] = ()
+    complex_cliques: tuple[Coord, ...] = ()
+
+    @property
+    def is_all_zeros(self) -> bool:
+        return not self.active_cliques
+
+
+class CliqueDecoder(Decoder):
+    """Lightweight local decoder for one stabilizer type of a surface code.
+
+    The decoder is stateless between calls; all lattice structure is
+    precomputed at construction time into flat numpy index tables so that the
+    decision for a full signature is a few vectorised operations (mirroring
+    the constant-depth combinational hardware it models).
+    """
+
+    def __init__(self, code: RotatedSurfaceCode, stype: StabilizerType) -> None:
+        super().__init__(code, stype)
+        self._cliques = build_cliques(code, stype)
+        num = len(self._cliques)
+        # Cliques with fewer than four leaves are padded with index ``num``,
+        # which addresses the always-zero sentinel column appended to the
+        # syndrome inside :meth:`complex_mask`.
+        self._neighbor_table = np.full((num, 4), num, dtype=np.int64)
+        for clique in self._cliques:
+            for slot, neighbor_index in enumerate(clique.neighbor_indices):
+                self._neighbor_table[clique.ancilla_index, slot] = neighbor_index
+        self._has_boundary = np.array(
+            [clique.has_boundary for clique in self._cliques], dtype=bool
+        )
+
+    @property
+    def cliques(self) -> tuple[Clique, ...]:
+        return self._cliques
+
+    # ------------------------------------------------------------------
+    # Vectorised decision helpers
+    # ------------------------------------------------------------------
+    def complex_mask(self, signatures: np.ndarray) -> np.ndarray:
+        """Per-clique complex flags for a batch of signatures.
+
+        Args:
+            signatures: array of shape ``(..., num_ancillas)`` with 0/1 entries.
+
+        Returns:
+            Boolean array of the same shape: True where the corresponding
+            clique is active and judged complex.
+        """
+        signatures = np.asarray(signatures, dtype=np.uint8) & 1
+        padded = np.concatenate(
+            [signatures, np.zeros(signatures.shape[:-1] + (1,), dtype=np.uint8)],
+            axis=-1,
+        )
+        neighbor_counts = padded[..., self._neighbor_table].sum(axis=-1)
+        active = signatures.astype(bool)
+        even = neighbor_counts % 2 == 0
+        boundary_escape = (neighbor_counts == 0) & self._has_boundary
+        return active & even & ~boundary_escape
+
+    def is_trivial_batch(self, signatures: np.ndarray) -> np.ndarray:
+        """True per signature row when no clique is complex (on-chip decodable)."""
+        return ~self.complex_mask(signatures).any(axis=-1)
+
+    # ------------------------------------------------------------------
+    def decide(self, signature: np.ndarray) -> CliqueDecision:
+        """Run the full decision (including corrections) on a single signature."""
+        signature = np.asarray(signature, dtype=np.uint8).reshape(-1) & 1
+        active_indices = np.flatnonzero(signature)
+        if active_indices.size == 0:
+            return CliqueDecision(is_trivial=True)
+
+        complex_flags = self.complex_mask(signature)
+        active_coords = tuple(self._cliques[i].ancilla for i in active_indices)
+        if complex_flags.any():
+            complex_coords = tuple(
+                self._cliques[i].ancilla for i in np.flatnonzero(complex_flags)
+            )
+            return CliqueDecision(
+                is_trivial=False,
+                active_cliques=active_coords,
+                complex_cliques=complex_coords,
+            )
+
+        correction: set[Coord] = set()
+        for index in active_indices:
+            clique = self._cliques[index]
+            set_leaves = [
+                slot
+                for slot, neighbor_index in enumerate(clique.neighbor_indices)
+                if signature[neighbor_index]
+            ]
+            if set_leaves:
+                # Odd number of set leaves: fix the data qubit shared with each.
+                correction.update(clique.shared_qubits[slot] for slot in set_leaves)
+            else:
+                # Boundary special case: a single boundary data error explains it;
+                # any of the clique's boundary qubits is an equivalent fix.
+                correction.add(clique.boundary_qubits[0])
+        return CliqueDecision(
+            is_trivial=True,
+            correction=frozenset(correction),
+            active_cliques=active_coords,
+        )
+
+    # ------------------------------------------------------------------
+    def decode(self, detections: np.ndarray) -> DecodeResult:
+        """Decoder-interface wrapper: single-round signatures only.
+
+        Multi-round histories are the responsibility of
+        :class:`repro.clique.hierarchical.HierarchicalDecoder`, which combines
+        this decoder with the measurement-persistence filter and an off-chip
+        fallback.
+        """
+        matrix = self._as_detection_matrix(detections)
+        if matrix.shape[0] != 1:
+            raise ValueError(
+                "CliqueDecoder.decode expects a single round; use "
+                "HierarchicalDecoder for multi-round histories"
+            )
+        decision = self.decide(matrix[0])
+        return DecodeResult(
+            correction=decision.correction,
+            handled=decision.is_trivial,
+            metadata={
+                "active_cliques": len(decision.active_cliques),
+                "complex_cliques": len(decision.complex_cliques),
+            },
+        )
+
+
+__all__ = ["clique_rule", "CliqueDecision", "CliqueDecoder"]

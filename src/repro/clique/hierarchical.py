@@ -1,0 +1,170 @@
+"""The full BTWC decoding hierarchy: Clique on-chip, complex decoder off-chip.
+
+This module glues the pieces of Fig. 2 together for a single logical qubit:
+
+* every measurement round, the round's detection events are passed through
+  the measurement-persistence filter and then through the Clique decision
+  logic;
+* if every active clique is trivial, the corrections are applied on-chip and
+  nothing leaves the refrigerator;
+* otherwise the round is flagged *off-chip*: its raw detection events are
+  accumulated and eventually decoded jointly by the robust off-chip decoder
+  (MWPM by default) over the full space-time history it received.
+
+The per-round on-chip/off-chip tally produced here is the raw material for
+the bandwidth-allocation experiments (Figs. 9 and 16) and for the coverage
+experiments (Figs. 11 and 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clique.decoder import CliqueDecoder
+from repro.clique.measurement_filter import PersistenceFilter
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.decoders.base import Decoder, DecodeResult
+from repro.decoders.mwpm import MWPMDecoder
+from repro.types import Coord, DecodeLocation, StabilizerType
+
+
+@dataclass(frozen=True)
+class HierarchicalResult:
+    """Outcome of decoding a full multi-round history through the hierarchy.
+
+    Attributes:
+        correction: combined data-qubit correction (on-chip XOR off-chip).
+        onchip_correction: the part applied by the Clique decoder.
+        offchip_correction: the part applied by the off-chip fallback.
+        round_locations: per measurement round, whether it was resolved
+            on-chip or had to go off-chip.
+        offchip_rounds: indices of the rounds sent off-chip.
+    """
+
+    correction: frozenset[Coord]
+    onchip_correction: frozenset[Coord]
+    offchip_correction: frozenset[Coord]
+    round_locations: tuple[DecodeLocation, ...]
+    offchip_rounds: tuple[int, ...] = ()
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.round_locations)
+
+    @property
+    def num_offchip_rounds(self) -> int:
+        return len(self.offchip_rounds)
+
+    @property
+    def onchip_fraction(self) -> float:
+        """Fraction of rounds fully handled inside the refrigerator."""
+        if not self.round_locations:
+            return 1.0
+        return 1.0 - self.num_offchip_rounds / self.num_rounds
+
+
+class HierarchicalDecoder(Decoder):
+    """Clique decoder + off-chip fallback, operating on multi-round histories.
+
+    Args:
+        code: the surface code instance.
+        stype: stabilizer type to decode.
+        fallback: the off-chip complex decoder; defaults to a fresh
+            :class:`~repro.decoders.mwpm.MWPMDecoder`.
+        measurement_rounds: window size of the Clique persistence filter
+            (2 in the paper's primary design).
+    """
+
+    def __init__(
+        self,
+        code: RotatedSurfaceCode,
+        stype: StabilizerType,
+        fallback: Decoder | None = None,
+        measurement_rounds: int = 2,
+    ) -> None:
+        super().__init__(code, stype)
+        self._clique = CliqueDecoder(code, stype)
+        self._fallback = fallback or MWPMDecoder(code, stype)
+        self._filter = PersistenceFilter(measurement_rounds)
+
+    @property
+    def clique(self) -> CliqueDecoder:
+        return self._clique
+
+    @property
+    def fallback(self) -> Decoder:
+        return self._fallback
+
+    @property
+    def measurement_rounds(self) -> int:
+        return self._filter.rounds
+
+    # ------------------------------------------------------------------
+    def decode_history(self, detections: np.ndarray) -> HierarchicalResult:
+        """Decode a full detection-event history round by round."""
+        matrix = self._as_detection_matrix(detections)
+        num_rounds = matrix.shape[0]
+        consumed = np.zeros_like(matrix)
+        offchip_mask = np.zeros_like(matrix)
+        onchip_correction: set[Coord] = set()
+        locations: list[DecodeLocation] = []
+        offchip_rounds: list[int] = []
+
+        for round_index in range(num_rounds):
+            visible = matrix[round_index] & ~consumed[round_index] & 1
+            sticky, transient = self._filter.split(
+                matrix & ~consumed & 1, round_index
+            )
+            sticky &= visible
+            transient &= visible
+            decision = self._clique.decide(sticky)
+            if decision.is_trivial:
+                onchip_correction ^= set(decision.correction)
+                # Transient events and their future partners are explained as
+                # measurement errors and never leave the chip.
+                partner_mask = self._filter.transient_partner_mask(
+                    matrix & ~consumed & 1, round_index, transient
+                )
+                consumed |= partner_mask
+                consumed[round_index] |= transient | sticky
+                locations.append(DecodeLocation.ON_CHIP)
+            else:
+                # The whole round's (unconsumed) events go to the off-chip decoder.
+                offchip_mask[round_index] = visible
+                consumed[round_index] |= visible
+                locations.append(DecodeLocation.OFF_CHIP)
+                offchip_rounds.append(round_index)
+
+        if offchip_mask.any():
+            fallback_result = self._fallback.decode(offchip_mask)
+            offchip_correction = set(fallback_result.correction)
+        else:
+            offchip_correction = set()
+
+        total = set(onchip_correction) ^ offchip_correction
+        return HierarchicalResult(
+            correction=frozenset(total),
+            onchip_correction=frozenset(onchip_correction),
+            offchip_correction=frozenset(offchip_correction),
+            round_locations=tuple(locations),
+            offchip_rounds=tuple(offchip_rounds),
+        )
+
+    # ------------------------------------------------------------------
+    def decode(self, detections: np.ndarray) -> DecodeResult:
+        """Decoder-interface wrapper returning the combined correction."""
+        result = self.decode_history(detections)
+        return DecodeResult(
+            correction=result.correction,
+            handled=True,
+            metadata={
+                "num_offchip_rounds": result.num_offchip_rounds,
+                "num_rounds": result.num_rounds,
+                "onchip_fraction": result.onchip_fraction,
+            },
+        )
+
+
+__all__ = ["HierarchicalDecoder", "HierarchicalResult"]

@@ -1,0 +1,41 @@
+"""Surface-code geometry, stabilizers and code-distance sizing.
+
+This package implements the rotated surface code substrate the paper's
+Clique decoder is built on (Section 2.2 and Fig. 3 of the paper), together
+with the sizing model that maps a physical error rate and a target logical
+error rate to the required code distance (used by Fig. 4).
+"""
+
+from repro.codes.coordinates import (
+    ancilla_coord,
+    data_coord,
+    data_neighbors_of_ancilla,
+    diagonal_ancilla_neighbors,
+    manhattan_distance,
+)
+from repro.codes.distance import (
+    LogicalRateModel,
+    PAPER_OPERATING_POINTS,
+    OperatingPoint,
+    logical_error_rate_estimate,
+    required_code_distance,
+)
+from repro.codes.rotated_surface import Ancilla, RotatedSurfaceCode
+from repro.codes.stabilizers import Stabilizer, parity_check_matrix
+
+__all__ = [
+    "Ancilla",
+    "RotatedSurfaceCode",
+    "Stabilizer",
+    "parity_check_matrix",
+    "ancilla_coord",
+    "data_coord",
+    "data_neighbors_of_ancilla",
+    "diagonal_ancilla_neighbors",
+    "manhattan_distance",
+    "LogicalRateModel",
+    "OperatingPoint",
+    "PAPER_OPERATING_POINTS",
+    "logical_error_rate_estimate",
+    "required_code_distance",
+]

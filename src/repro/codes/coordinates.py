@@ -1,0 +1,97 @@
+"""Doubled-coordinate helpers for the rotated surface code lattice.
+
+See :mod:`repro.types` for the convention: data qubits on even/even
+coordinates, ancilla qubits on odd/odd coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.types import Coord
+
+
+def data_coord(row: int, col: int) -> Coord:
+    """Doubled coordinate of the data qubit in data-grid position ``(row, col)``."""
+    return Coord(2 * row, 2 * col)
+
+
+def ancilla_coord(plaquette_row: int, plaquette_col: int) -> Coord:
+    """Doubled coordinate of the ancilla for plaquette ``(plaquette_row, plaquette_col)``.
+
+    Plaquette ``(r, c)`` sits between data rows ``r`` and ``r + 1`` and data
+    columns ``c`` and ``c + 1``; boundary plaquettes use ``r = -1`` or
+    ``c = -1``.
+    """
+    return Coord(2 * plaquette_row + 1, 2 * plaquette_col + 1)
+
+
+def plaquette_of(coord: Coord) -> tuple[int, int]:
+    """Inverse of :func:`ancilla_coord`."""
+    if not coord.is_ancilla:
+        raise ValueError(f"{coord} is not an ancilla coordinate")
+    return (coord.row - 1) // 2, (coord.col - 1) // 2
+
+
+def data_grid_of(coord: Coord) -> tuple[int, int]:
+    """Inverse of :func:`data_coord`."""
+    if not coord.is_data:
+        raise ValueError(f"{coord} is not a data-qubit coordinate")
+    return coord.row // 2, coord.col // 2
+
+
+def data_neighbors_of_ancilla(coord: Coord) -> Iterator[Coord]:
+    """The four candidate data-qubit positions touching an ancilla.
+
+    Positions outside the lattice must be filtered by the caller; this helper
+    only performs coordinate arithmetic.
+    """
+    if not coord.is_ancilla:
+        raise ValueError(f"{coord} is not an ancilla coordinate")
+    for drow in (-1, 1):
+        for dcol in (-1, 1):
+            yield coord.offset(drow, dcol)
+
+
+def diagonal_ancilla_neighbors(coord: Coord) -> Iterator[Coord]:
+    """The four candidate same-type ancilla neighbours of an ancilla.
+
+    In the rotated surface code two ancillas of the same stabilizer type share
+    a data qubit exactly when they are diagonal neighbours at doubled-distance
+    ``(+-2, +-2)``.  These are the "clique" neighbours used by the Clique
+    decoder (Fig. 5 of the paper).
+    """
+    if not coord.is_ancilla:
+        raise ValueError(f"{coord} is not an ancilla coordinate")
+    for drow in (-2, 2):
+        for dcol in (-2, 2):
+            yield coord.offset(drow, dcol)
+
+
+def shared_data_qubit(ancilla_a: Coord, ancilla_b: Coord) -> Coord:
+    """The unique data qubit shared by two diagonally adjacent same-type ancillas."""
+    if abs(ancilla_a.row - ancilla_b.row) != 2 or abs(ancilla_a.col - ancilla_b.col) != 2:
+        raise ValueError(
+            f"ancillas {ancilla_a} and {ancilla_b} are not diagonal neighbours"
+        )
+    return Coord(
+        (ancilla_a.row + ancilla_b.row) // 2,
+        (ancilla_a.col + ancilla_b.col) // 2,
+    )
+
+
+def manhattan_distance(a: Coord, b: Coord) -> int:
+    """Manhattan distance in doubled coordinates."""
+    return abs(a.row - b.row) + abs(a.col - b.col)
+
+
+__all__ = [
+    "data_coord",
+    "ancilla_coord",
+    "plaquette_of",
+    "data_grid_of",
+    "data_neighbors_of_ancilla",
+    "diagonal_ancilla_neighbors",
+    "shared_data_qubit",
+    "manhattan_distance",
+]

@@ -1,0 +1,55 @@
+"""Stabilizer (parity check) representation and parity-check matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import Coord, StabilizerType
+
+
+@dataclass(frozen=True)
+class Stabilizer:
+    """A single surface-code stabilizer generator.
+
+    Attributes:
+        ancilla: doubled coordinate of the ancilla qubit measuring the check.
+        type: whether this is an X-type or Z-type check.
+        data_qubits: the data qubits (doubled coordinates) in the check's
+            support, sorted for determinism.  Bulk checks have weight 4 and
+            boundary checks have weight 2.
+    """
+
+    ancilla: Coord
+    type: StabilizerType
+    data_qubits: tuple[Coord, ...] = field(default_factory=tuple)
+
+    @property
+    def weight(self) -> int:
+        """Number of data qubits in the check's support."""
+        return len(self.data_qubits)
+
+    def syndrome_bit(self, error_qubits: frozenset[Coord] | set[Coord]) -> int:
+        """Parity of the overlap between this check and an error support."""
+        return sum(1 for qubit in self.data_qubits if qubit in error_qubits) % 2
+
+
+def parity_check_matrix(
+    stabilizers: tuple[Stabilizer, ...] | list[Stabilizer],
+    data_index: dict[Coord, int],
+) -> np.ndarray:
+    """Build the binary parity-check matrix ``H`` for a list of stabilizers.
+
+    ``H[i, j] == 1`` exactly when stabilizer ``i`` includes data qubit ``j``
+    (as ordered by ``data_index``).  The syndrome of a binary error vector
+    ``e`` is ``(H @ e) % 2``.
+    """
+    matrix = np.zeros((len(stabilizers), len(data_index)), dtype=np.uint8)
+    for row, stabilizer in enumerate(stabilizers):
+        for qubit in stabilizer.data_qubits:
+            matrix[row, data_index[qubit]] = 1
+    return matrix
+
+
+__all__ = ["Stabilizer", "parity_check_matrix"]

@@ -1,0 +1,21 @@
+"""Logical-circuit execution control: waveform generation and stall insertion.
+
+Models the control-path side of Fig. 10: the waveform generator issues one
+layer of logical gate pulses per decode cycle unless the decode-overflow
+controller asserts the stall signal, in which case an identity layer is
+inserted and the program layer is retried on the next cycle.  T gates act as
+decode barriers (Section 2.3): all pending off-chip decodes must drain before
+a T layer may issue.
+"""
+
+from repro.control.circuits import GateType, LogicalCircuit, LogicalGate
+from repro.control.waveform import ExecutionTrace, StallController, WaveformGenerator
+
+__all__ = [
+    "GateType",
+    "LogicalGate",
+    "LogicalCircuit",
+    "WaveformGenerator",
+    "StallController",
+    "ExecutionTrace",
+]

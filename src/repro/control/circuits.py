@@ -1,0 +1,131 @@
+"""A minimal logical-circuit model for the execution-stalling experiments."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+
+class GateType(enum.Enum):
+    """Logical gate species relevant to the decode-scheduling discussion.
+
+    Clifford gates (H, S, CNOT, and the identity used for stalling) commute
+    error corrections through them, so decoding may lag behind.  T gates do
+    not: the conditional S correction they may require depends on the full
+    error history, so every pending decode must complete before a T layer
+    executes (Section 2.3 of the paper).
+    """
+
+    I = "I"
+    H = "H"
+    S = "S"
+    T = "T"
+    CNOT = "CNOT"
+    MEASURE = "M"
+
+    @property
+    def is_decode_barrier(self) -> bool:
+        return self in (GateType.T, GateType.MEASURE)
+
+
+@dataclass(frozen=True)
+class LogicalGate:
+    """A single logical gate acting on one or two logical qubits."""
+
+    gate: GateType
+    targets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        expected = 2 if self.gate is GateType.CNOT else 1
+        if len(self.targets) != expected:
+            raise ConfigurationError(
+                f"{self.gate.value} expects {expected} target(s), got {self.targets}"
+            )
+        if len(set(self.targets)) != len(self.targets):
+            raise ConfigurationError(f"duplicate targets in {self.targets}")
+
+
+@dataclass
+class LogicalCircuit:
+    """A logical circuit as a list of gate layers (one layer per decode cycle)."""
+
+    num_qubits: int
+    layers: list[tuple[LogicalGate, ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ConfigurationError(f"num_qubits must be positive, got {self.num_qubits}")
+
+    # ------------------------------------------------------------------
+    def add_layer(self, gates: list[LogicalGate] | tuple[LogicalGate, ...]) -> None:
+        """Append one layer, checking qubit bounds and collision-freedom."""
+        used: set[int] = set()
+        for gate in gates:
+            for target in gate.targets:
+                if not 0 <= target < self.num_qubits:
+                    raise ConfigurationError(
+                        f"target {target} out of range for {self.num_qubits} qubits"
+                    )
+                if target in used:
+                    raise ConfigurationError(
+                        f"qubit {target} is used twice in the same layer"
+                    )
+                used.add(target)
+        self.layers.append(tuple(gates))
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    @property
+    def t_layer_indices(self) -> tuple[int, ...]:
+        """Indices of layers containing at least one decode-barrier gate."""
+        return tuple(
+            index
+            for index, layer in enumerate(self.layers)
+            if any(gate.gate.is_decode_barrier for gate in layer)
+        )
+
+    def count_gates(self, gate_type: GateType) -> int:
+        return sum(
+            1 for layer in self.layers for gate in layer if gate.gate is gate_type
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random_clifford_t(
+        cls,
+        num_qubits: int,
+        depth: int,
+        t_fraction: float = 0.1,
+        seed: int | None = None,
+    ) -> "LogicalCircuit":
+        """Generate a random layered Clifford+T circuit for workload studies."""
+        import numpy as np
+
+        if not 0.0 <= t_fraction <= 1.0:
+            raise ConfigurationError(f"t_fraction must be in [0, 1], got {t_fraction}")
+        rng = np.random.default_rng(seed)
+        circuit = cls(num_qubits=num_qubits)
+        single_qubit_choices = (GateType.H, GateType.S, GateType.I)
+        for _ in range(depth):
+            gates: list[LogicalGate] = []
+            qubits = list(range(num_qubits))
+            rng.shuffle(qubits)
+            while qubits:
+                qubit = qubits.pop()
+                if len(qubits) >= 1 and rng.random() < 0.3:
+                    partner = qubits.pop()
+                    gates.append(LogicalGate(GateType.CNOT, (qubit, partner)))
+                elif rng.random() < t_fraction:
+                    gates.append(LogicalGate(GateType.T, (qubit,)))
+                else:
+                    gate = single_qubit_choices[rng.integers(len(single_qubit_choices))]
+                    gates.append(LogicalGate(gate, (qubit,)))
+            circuit.add_layer(gates)
+        return circuit
+
+
+__all__ = ["GateType", "LogicalGate", "LogicalCircuit"]

@@ -1,0 +1,162 @@
+"""Waveform generator and stall controller (Fig. 10 of the paper).
+
+The waveform generator issues gate pulses for one logical circuit layer per
+decode cycle.  The stall controller watches the off-chip decode link: when a
+cycle's demand overflows the provisioned bandwidth it asserts the stall
+signal, and the waveform generator inserts an identity layer instead of
+advancing the program.  T-gate layers additionally wait until every pending
+off-chip decode has drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bandwidth.allocation import BandwidthPlan
+from repro.control.circuits import GateType, LogicalCircuit, LogicalGate
+from repro.exceptions import ConfigurationError
+from repro.noise.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ExecutedCycle:
+    """One wall-clock cycle of the execution trace."""
+
+    cycle: int
+    layer_index: int | None
+    is_stall: bool
+    pending_offchip_decodes: int
+
+
+@dataclass
+class ExecutionTrace:
+    """Full trace of a stalled execution."""
+
+    cycles: list[ExecutedCycle] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def stall_cycles(self) -> int:
+        return sum(1 for cycle in self.cycles if cycle.is_stall)
+
+    @property
+    def program_cycles(self) -> int:
+        return self.total_cycles - self.stall_cycles
+
+    @property
+    def execution_time_increase(self) -> float:
+        if self.program_cycles == 0:
+            return 0.0
+        return self.stall_cycles / self.program_cycles
+
+
+class StallController:
+    """Tracks the off-chip decode backlog and decides when to stall.
+
+    Args:
+        plan: off-chip bandwidth provisioning.
+        seed: RNG used to draw each cycle's new off-chip decode requests.
+    """
+
+    def __init__(self, plan: BandwidthPlan, seed: int | np.random.Generator | None = None) -> None:
+        self._plan = plan
+        self._rng = make_rng(seed)
+        self._backlog = 0
+
+    @property
+    def backlog(self) -> int:
+        return self._backlog
+
+    def advance_cycle(self) -> bool:
+        """Simulate one cycle of decode traffic; return True if a stall is required."""
+        new_requests = int(
+            self._rng.binomial(self._plan.num_logical_qubits, self._plan.offchip_rate)
+        )
+        demand = self._backlog + new_requests
+        served = min(demand, self._plan.decodes_per_cycle)
+        self._backlog = demand - served
+        return self._backlog > 0
+
+    @property
+    def drained(self) -> bool:
+        """True when no off-chip decode is pending (T layers may proceed)."""
+        return self._backlog == 0
+
+
+class WaveformGenerator:
+    """Executes a logical circuit layer by layer, inserting stall (identity) layers."""
+
+    def __init__(self, circuit: LogicalCircuit) -> None:
+        self._circuit = circuit
+
+    @property
+    def circuit(self) -> LogicalCircuit:
+        return self._circuit
+
+    def idle_layer(self) -> tuple[LogicalGate, ...]:
+        """The identity layer issued during a stall cycle (Fig. 10)."""
+        return tuple(
+            LogicalGate(GateType.I, (qubit,)) for qubit in range(self._circuit.num_qubits)
+        )
+
+    def execute(
+        self,
+        controller: StallController,
+        max_cycles: int | None = None,
+    ) -> ExecutionTrace:
+        """Run the circuit to completion under the controller's stall signal.
+
+        Args:
+            controller: the stall controller deciding, per cycle, whether the
+                program may advance.
+            max_cycles: abort threshold to guard against unstable provisioning
+                (defaults to 100x the circuit depth).
+
+        Returns:
+            The execution trace; raises :class:`ConfigurationError` if the
+            abort threshold is hit, mirroring the paper's point that mean
+            provisioning never finishes the program.
+        """
+        if max_cycles is None:
+            max_cycles = max(100 * self._circuit.depth, 1000)
+        trace = ExecutionTrace()
+        layer_index = 0
+        cycle = 0
+        while layer_index < self._circuit.depth:
+            if cycle >= max_cycles:
+                raise ConfigurationError(
+                    f"execution did not finish within {max_cycles} cycles; "
+                    "the off-chip bandwidth provisioning is unstable"
+                )
+            layer = self._circuit.layers[layer_index]
+            is_barrier = any(gate.gate.is_decode_barrier for gate in layer)
+            must_stall = controller.advance_cycle()
+            if must_stall or (is_barrier and not controller.drained):
+                trace.cycles.append(
+                    ExecutedCycle(
+                        cycle=cycle,
+                        layer_index=None,
+                        is_stall=True,
+                        pending_offchip_decodes=controller.backlog,
+                    )
+                )
+            else:
+                trace.cycles.append(
+                    ExecutedCycle(
+                        cycle=cycle,
+                        layer_index=layer_index,
+                        is_stall=False,
+                        pending_offchip_decodes=controller.backlog,
+                    )
+                )
+                layer_index += 1
+            cycle += 1
+        return trace
+
+
+__all__ = ["ExecutedCycle", "ExecutionTrace", "StallController", "WaveformGenerator"]

@@ -1,0 +1,23 @@
+"""Off-chip ("complex") decoders used as the robust fallback in the BTWC hierarchy.
+
+The paper's baseline is Minimum Weight Perfect Matching (MWPM) [Dennis et al.].
+A clustering (union-find style) decoder and an exhaustive lookup-table decoder
+are included as additional baselines and as cross-validation oracles for the
+test suite.
+"""
+
+from repro.decoders.base import Decoder, DecodeResult
+from repro.decoders.lookup import LookupDecoder
+from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import ClusteringDecoder
+
+__all__ = [
+    "Decoder",
+    "DecodeResult",
+    "MatchingGraph",
+    "SpaceTimeEvent",
+    "MWPMDecoder",
+    "ClusteringDecoder",
+    "LookupDecoder",
+]

@@ -1,0 +1,73 @@
+"""Decoder interface shared by on-chip and off-chip decoders."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.exceptions import SyndromeShapeError
+from repro.types import Coord, StabilizerType
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of a decode call.
+
+    Attributes:
+        correction: data qubits whose error species should be flipped.  The
+            set has XOR semantics: applying it twice is a no-op.
+        handled: whether the decoder actually produced a correction.  The
+            Clique decoder sets ``handled=False`` when it declares a syndrome
+            complex and defers to the off-chip decoder.
+        metadata: free-form diagnostic information (e.g. number of matched
+            pairs, growth steps), useful for benchmarking.
+    """
+
+    correction: frozenset[Coord] = frozenset()
+    handled: bool = True
+    metadata: dict = field(default_factory=dict)
+
+
+class Decoder(abc.ABC):
+    """A decoder for one stabilizer type of one surface code instance.
+
+    Decoders consume *detection events* in matrix form — shape
+    ``(num_rounds, num_ancillas_of_type)`` — and return a
+    :class:`DecodeResult` whose correction is expressed on data qubits.  A
+    one-dimensional syndrome is accepted as shorthand for a single round.
+    """
+
+    def __init__(self, code: RotatedSurfaceCode, stype: StabilizerType) -> None:
+        self._code = code
+        self._stype = stype
+
+    @property
+    def code(self) -> RotatedSurfaceCode:
+        return self._code
+
+    @property
+    def stabilizer_type(self) -> StabilizerType:
+        return self._stype
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in experiment reports."""
+        return type(self).__name__
+
+    def _as_detection_matrix(self, detections: np.ndarray) -> np.ndarray:
+        """Normalise input to a 2-D uint8 matrix and validate its width."""
+        matrix = np.atleast_2d(np.asarray(detections, dtype=np.uint8)) & 1
+        expected = self._code.num_ancillas_of_type(self._stype)
+        if matrix.shape[1] != expected:
+            raise SyndromeShapeError(expected, matrix.shape[1])
+        return matrix
+
+    @abc.abstractmethod
+    def decode(self, detections: np.ndarray) -> DecodeResult:
+        """Decode a detection-event matrix into a data-qubit correction."""
+
+
+__all__ = ["Decoder", "DecodeResult"]

@@ -1,0 +1,192 @@
+"""Space-time matching graph for phenomenological-noise decoding.
+
+Detection events live on a three-dimensional lattice: the two spatial
+dimensions of the ancilla grid plus the measurement-round (time) axis.
+Under the paper's phenomenological noise model every edge has the same
+weight, so the distance between two events decomposes into
+
+    distance = spatial_distance(ancilla_a, ancilla_b) + |round_a - round_b|
+
+where the spatial distance is the shortest chain of data-qubit errors
+connecting the two ancillas, and the time component counts measurement
+errors.  Chains may also terminate on the lattice boundary, which is modelled
+as a virtual node each ancilla has a precomputed distance (and correction
+path) to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.types import Coord, StabilizerType
+
+#: Sentinel node index representing the lattice boundary in the spatial graph.
+BOUNDARY = -1
+
+
+@dataclass(frozen=True, order=True)
+class SpaceTimeEvent:
+    """A detection event located at (round, ancilla index)."""
+
+    round: int
+    ancilla_index: int
+
+
+class MatchingGraph:
+    """Precomputed spatial distances and correction paths for one stabilizer type.
+
+    The graph's nodes are the ancillas of the given type plus a virtual
+    boundary node.  Two ancillas are connected when they share a data qubit
+    (a single data error flips both); an ancilla is connected to the boundary
+    through each of its boundary data qubits (a single data error there flips
+    only that ancilla).  All edges carry unit weight and are labelled by the
+    data qubit whose correction they correspond to.
+    """
+
+    def __init__(self, code: RotatedSurfaceCode, stype: StabilizerType) -> None:
+        self._code = code
+        self._stype = stype
+        ancillas = code.ancillas(stype)
+        self._num_nodes = len(ancillas)
+        index_of = code.ancilla_index(stype)
+
+        # adjacency[i] -> list of (neighbor index or BOUNDARY, data qubit label)
+        adjacency: list[list[tuple[int, Coord]]] = [[] for _ in ancillas]
+        for ancilla in ancillas:
+            i = ancilla.index
+            for neighbor_coord, shared in zip(
+                ancilla.clique_neighbors, ancilla.shared_qubits
+            ):
+                adjacency[i].append((index_of[neighbor_coord], shared))
+            for boundary_qubit in ancilla.boundary_qubits:
+                adjacency[i].append((BOUNDARY, boundary_qubit))
+        self._adjacency = adjacency
+
+        self._spatial_distance: list[list[int]] = []
+        self._spatial_path: list[list[frozenset[Coord]]] = []
+        self._boundary_distance: list[int] = []
+        self._boundary_path: list[frozenset[Coord]] = []
+        self._precompute()
+
+    # ------------------------------------------------------------------
+    def _precompute(self) -> None:
+        for source in range(self._num_nodes):
+            distances, paths = self._bfs(source, allow_boundary=False)
+            self._spatial_distance.append(distances)
+            self._spatial_path.append(paths)
+            boundary_distance, boundary_path = self._bfs_to_boundary(source)
+            self._boundary_distance.append(boundary_distance)
+            self._boundary_path.append(boundary_path)
+
+    def _bfs(
+        self, source: int, allow_boundary: bool
+    ) -> tuple[list[int], list[frozenset[Coord]]]:
+        """Breadth-first search over ancilla nodes, tracking correction paths."""
+        distances = [-1] * self._num_nodes
+        paths: list[frozenset[Coord]] = [frozenset()] * self._num_nodes
+        distances[source] = 0
+        queue: deque[int] = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbor, qubit in self._adjacency[node]:
+                if neighbor == BOUNDARY:
+                    if not allow_boundary:
+                        continue
+                    continue  # boundary handled separately
+                if distances[neighbor] == -1:
+                    distances[neighbor] = distances[node] + 1
+                    paths[neighbor] = paths[node] | {qubit}
+                    queue.append(neighbor)
+        return distances, paths
+
+    def _bfs_to_boundary(self, source: int) -> tuple[int, frozenset[Coord]]:
+        """Shortest path from an ancilla to the virtual boundary node."""
+        distances = [-1] * self._num_nodes
+        paths: list[frozenset[Coord]] = [frozenset()] * self._num_nodes
+        distances[source] = 0
+        queue: deque[int] = deque([source])
+        best_distance = -1
+        best_path: frozenset[Coord] = frozenset()
+        while queue:
+            node = queue.popleft()
+            if best_distance != -1 and distances[node] >= best_distance:
+                continue
+            for neighbor, qubit in self._adjacency[node]:
+                if neighbor == BOUNDARY:
+                    candidate = distances[node] + 1
+                    if best_distance == -1 or candidate < best_distance:
+                        best_distance = candidate
+                        best_path = paths[node] | {qubit}
+                    continue
+                if distances[neighbor] == -1:
+                    distances[neighbor] = distances[node] + 1
+                    paths[neighbor] = paths[node] | {qubit}
+                    queue.append(neighbor)
+        return best_distance, best_path
+
+    # ------------------------------------------------------------------
+    @property
+    def code(self) -> RotatedSurfaceCode:
+        return self._code
+
+    @property
+    def stabilizer_type(self) -> StabilizerType:
+        return self._stype
+
+    @property
+    def num_ancillas(self) -> int:
+        return self._num_nodes
+
+    def spatial_distance(self, ancilla_a: int, ancilla_b: int) -> int:
+        """Shortest data-error chain length connecting two ancillas."""
+        return self._spatial_distance[ancilla_a][ancilla_b]
+
+    def spatial_path(self, ancilla_a: int, ancilla_b: int) -> frozenset[Coord]:
+        """Data qubits along one shortest chain between two ancillas."""
+        return self._spatial_path[ancilla_a][ancilla_b]
+
+    def boundary_distance(self, ancilla: int) -> int:
+        """Shortest data-error chain length from an ancilla to the boundary."""
+        return self._boundary_distance[ancilla]
+
+    def boundary_path(self, ancilla: int) -> frozenset[Coord]:
+        """Data qubits along one shortest chain from an ancilla to the boundary."""
+        return self._boundary_path[ancilla]
+
+    def event_distance(self, event_a: SpaceTimeEvent, event_b: SpaceTimeEvent) -> int:
+        """Space-time distance between two detection events."""
+        return self.spatial_distance(event_a.ancilla_index, event_b.ancilla_index) + abs(
+            event_a.round - event_b.round
+        )
+
+    def event_boundary_distance(self, event: SpaceTimeEvent) -> int:
+        """Space-time distance from an event to the boundary (purely spatial)."""
+        return self.boundary_distance(event.ancilla_index)
+
+    def correction_between(
+        self, event_a: SpaceTimeEvent, event_b: SpaceTimeEvent
+    ) -> frozenset[Coord]:
+        """Data-qubit correction for matching two events to each other.
+
+        The temporal component of the match corresponds to measurement errors
+        and therefore contributes no data-qubit correction.
+        """
+        return self.spatial_path(event_a.ancilla_index, event_b.ancilla_index)
+
+    def correction_to_boundary(self, event: SpaceTimeEvent) -> frozenset[Coord]:
+        """Data-qubit correction for matching an event to the boundary."""
+        return self.boundary_path(event.ancilla_index)
+
+
+@lru_cache(maxsize=64)
+def get_matching_graph(distance: int, stype: StabilizerType) -> MatchingGraph:
+    """Cached matching graph for a given code distance and stabilizer type."""
+    from repro.codes.rotated_surface import get_code
+
+    return MatchingGraph(get_code(distance), stype)
+
+
+__all__ = ["BOUNDARY", "SpaceTimeEvent", "MatchingGraph", "get_matching_graph"]

@@ -1,0 +1,156 @@
+"""Clustering (union-find style) decoder.
+
+A lighter-weight alternative to MWPM in the spirit of the union-find decoder
+of Delfosse and Nickerson: detection events grow clusters in the space-time
+metric; clusters merge when their growth regions touch; a cluster becomes
+*neutral* once it contains an even number of events or reaches the lattice
+boundary.  Neutral clusters are then resolved locally — events are paired
+greedily inside their own cluster (or matched to the boundary) and the
+corresponding shortest-chain corrections are applied.
+
+The decoder always produces a correction whose residual syndrome is zero;
+its accuracy sits between the Clique decoder and MWPM, which makes it a
+useful point of comparison in the "deeper hierarchy of decoders" direction
+the paper sketches in Section 8.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.decoders.base import Decoder, DecodeResult
+from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
+from repro.types import Coord, StabilizerType
+
+
+class _DisjointSets:
+    """Minimal union-find structure with path compression."""
+
+    def __init__(self, count: int) -> None:
+        self._parent = list(range(count))
+
+    def find(self, item: int) -> int:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+
+class ClusteringDecoder(Decoder):
+    """Union-find style clustering decoder over the space-time matching graph."""
+
+    def __init__(
+        self,
+        code: RotatedSurfaceCode,
+        stype: StabilizerType,
+        matching_graph: MatchingGraph | None = None,
+    ) -> None:
+        super().__init__(code, stype)
+        self._graph = matching_graph or MatchingGraph(code, stype)
+
+    # ------------------------------------------------------------------
+    def decode(self, detections: np.ndarray) -> DecodeResult:
+        matrix = self._as_detection_matrix(detections)
+        events = [
+            SpaceTimeEvent(round=int(r), ancilla_index=int(a))
+            for r, a in zip(*np.nonzero(matrix))
+        ]
+        if not events:
+            return DecodeResult(correction=frozenset(), metadata={"num_events": 0})
+
+        clusters, growth_steps = self._grow_clusters(events)
+        correction: set[Coord] = set()
+        for members in clusters:
+            correction ^= self._resolve_cluster([events[i] for i in members])
+        return DecodeResult(
+            correction=frozenset(correction),
+            metadata={
+                "num_events": len(events),
+                "num_clusters": len(clusters),
+                "growth_steps": growth_steps,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _grow_clusters(
+        self, events: list[SpaceTimeEvent]
+    ) -> tuple[list[list[int]], int]:
+        """Grow clusters until every cluster is even or touches the boundary."""
+        count = len(events)
+        sets = _DisjointSets(count)
+        radius = [0] * count  # per-event growth radius; cluster radius is the max
+        pair_distance = [
+            [self._graph.event_distance(events[i], events[j]) for j in range(count)]
+            for i in range(count)
+        ]
+        boundary_distance = [
+            self._graph.event_boundary_distance(events[i]) for i in range(count)
+        ]
+
+        def cluster_members() -> dict[int, list[int]]:
+            members: dict[int, list[int]] = {}
+            for i in range(count):
+                members.setdefault(sets.find(i), []).append(i)
+            return members
+
+        def cluster_is_neutral(members: list[int]) -> bool:
+            if len(members) % 2 == 0:
+                return True
+            return any(boundary_distance[i] <= radius[i] for i in members)
+
+        growth_steps = 0
+        # The space-time graph diameter bounds the number of growth rounds.
+        max_steps = 2 * self._code.distance + 2
+        while growth_steps < max_steps:
+            members = cluster_members()
+            odd_roots = [
+                root
+                for root, items in members.items()
+                if not cluster_is_neutral(items)
+            ]
+            if not odd_roots:
+                break
+            growth_steps += 1
+            for root in odd_roots:
+                for i in members[root]:
+                    radius[i] += 1
+            # Merge any clusters whose growth regions now touch.
+            for i in range(count):
+                for j in range(i + 1, count):
+                    if sets.find(i) == sets.find(j):
+                        continue
+                    if pair_distance[i][j] <= radius[i] + radius[j]:
+                        sets.union(i, j)
+        self._radius = radius
+        self._boundary_distance = boundary_distance
+        return list(cluster_members().values()), growth_steps
+
+    def _resolve_cluster(self, members: list[SpaceTimeEvent]) -> frozenset[Coord]:
+        """Pair up events inside a neutral cluster and emit their correction."""
+        correction: set[Coord] = set()
+        remaining = list(members)
+        if len(remaining) % 2 == 1:
+            # Match the event closest to the boundary against the boundary.
+            closest = min(remaining, key=self._graph.event_boundary_distance)
+            remaining.remove(closest)
+            correction ^= self._graph.correction_to_boundary(closest)
+        # Greedy nearest-neighbour pairing of the rest.
+        while remaining:
+            event = remaining.pop()
+            partner = min(
+                remaining, key=lambda other: self._graph.event_distance(event, other)
+            )
+            remaining.remove(partner)
+            correction ^= self._graph.correction_between(event, partner)
+        return frozenset(correction)
+
+
+__all__ = ["ClusteringDecoder"]

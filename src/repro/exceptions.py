@@ -1,0 +1,70 @@
+"""Exception hierarchy for the BTWC-QEC reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish configuration problems from runtime decoding
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class InvalidDistanceError(ConfigurationError):
+    """A surface-code distance was not an odd integer >= 3."""
+
+    def __init__(self, distance: object) -> None:
+        super().__init__(
+            f"code distance must be an odd integer >= 3, got {distance!r}"
+        )
+        self.distance = distance
+
+
+class InvalidProbabilityError(ConfigurationError):
+    """A probability parameter was outside the closed interval [0, 1]."""
+
+    def __init__(self, name: str, value: object) -> None:
+        super().__init__(f"{name} must lie in [0, 1], got {value!r}")
+        self.name = name
+        self.value = value
+
+
+class DecodingError(ReproError):
+    """A decoder failed to produce a valid correction."""
+
+
+class SyndromeShapeError(DecodingError):
+    """A syndrome vector did not match the code geometry it was decoded against."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(
+            f"syndrome length mismatch: expected {expected} bits, got {actual}"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class BandwidthConfigurationError(ConfigurationError):
+    """Off-chip bandwidth provisioning parameters were inconsistent."""
+
+
+class SynthesisError(ReproError):
+    """Hardware synthesis of the Clique decoder netlist failed."""
+
+
+class ExperimentNotFoundError(ReproError):
+    """An experiment id was requested that is not present in the registry."""
+
+    def __init__(self, experiment_id: str, available: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(available)}"
+        )
+        self.experiment_id = experiment_id
+        self.available = available

@@ -1,0 +1,18 @@
+"""Experiment runners: one module per table/figure of the paper's evaluation.
+
+Every runner returns an :class:`~repro.experiments.base.ExperimentResult`
+whose rows are the data series behind the corresponding figure.  The
+``registry`` module maps experiment ids (``fig04`` ... ``fig16``, ``table1``,
+``headline``) to their runners; the command-line front-end and the benchmark
+suite both go through it.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import available_experiments, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,71 @@
+"""Shared result container and text formatting for experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """The data series behind one reproduced table or figure.
+
+    Attributes:
+        experiment_id: registry id, e.g. ``"fig11"``.
+        title: human-readable description.
+        rows: list of flat dictionaries; all rows share the same keys.
+        notes: free-form commentary (parameters, caveats, paper-reported
+            values for comparison).
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self.rows[0].keys()) if self.rows else ()
+
+    def column(self, name: str) -> list[object]:
+        """Extract one column across all rows."""
+        return [row[name] for row in self.rows]
+
+    @staticmethod
+    def _format_value(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e4 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def format_table(self) -> str:
+        """Render the rows as an aligned plain-text table."""
+        if not self.rows:
+            return f"== {self.title} ==\n(no rows)\n"
+        columns = self.columns
+        cells = [
+            [self._format_value(row[column]) for column in columns] for row in self.rows
+        ]
+        widths = [
+            max(len(column), *(len(row[i]) for row in cells))
+            for i, column in enumerate(columns)
+        ]
+        header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+        divider = "  ".join("-" * width for width in widths)
+        body = "\n".join(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(columns)))
+            for row in cells
+        )
+        parts = [f"== {self.experiment_id}: {self.title} ==", header, divider, body]
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes.strip())
+        return "\n".join(parts) + "\n"
+
+
+__all__ = ["ExperimentResult"]

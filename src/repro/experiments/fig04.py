@@ -1,0 +1,63 @@
+"""Fig. 4 — error-signature distribution at the paper's operating points."""
+
+from __future__ import annotations
+
+from repro.codes.distance import PAPER_OPERATING_POINTS, OperatingPoint
+from repro.codes.rotated_surface import get_code
+from repro.experiments.base import ExperimentResult
+from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.cycles import simulate_signature_distribution
+
+#: Distances above this are skipped by default (the 5e-3 / 1e-12 point needs
+#: d = 81, whose per-cycle matrices are large); pass ``max_distance=None`` to
+#: include every paper point.
+DEFAULT_MAX_DISTANCE = 31
+
+
+def run(
+    cycles: int = 50_000,
+    seed: int = 2023,
+    points: tuple[OperatingPoint, ...] = PAPER_OPERATING_POINTS,
+    max_distance: int | None = DEFAULT_MAX_DISTANCE,
+) -> ExperimentResult:
+    """Reproduce the Fig. 4 stacked-bar data (per-cycle signature classes)."""
+    rows = []
+    skipped = []
+    for index, point in enumerate(points):
+        if max_distance is not None and point.code_distance > max_distance:
+            skipped.append(point.label())
+            continue
+        code = get_code(point.code_distance)
+        noise = PhenomenologicalNoise(point.physical_error_rate)
+        distribution = simulate_signature_distribution(
+            code, noise, cycles, rng=seed + index
+        )
+        rows.append(
+            {
+                "operating_point": point.label(),
+                "physical_error_rate": point.physical_error_rate,
+                "target_logical_error_rate": point.logical_error_rate,
+                "code_distance": point.code_distance,
+                "cycles": cycles,
+                "all_zeros_pct": 100.0 * distribution.all_zeros_fraction,
+                "local_ones_pct": 100.0 * distribution.local_ones_fraction,
+                "complex_pct": 100.0 * distribution.complex_fraction,
+                "trivial_pct": 100.0 * distribution.trivial_fraction,
+            }
+        )
+    notes = (
+        "Paper observation: in most practical operating points > 90% of the\n"
+        "signatures are trivial (All-0s + Local-1s); Complex is only sizeable\n"
+        "for the 5E-3 / 1E-12 point."
+    )
+    if skipped:
+        notes += f"\nSkipped (distance above {max_distance}): {', '.join(skipped)}."
+    return ExperimentResult(
+        experiment_id="fig04",
+        title="Error-signature distribution across operating points",
+        rows=rows,
+        notes=notes,
+    )
+
+
+__all__ = ["run", "DEFAULT_MAX_DISTANCE"]

@@ -1,0 +1,99 @@
+"""Fig. 9 — off-chip decode backlog under mean vs high-percentile provisioning."""
+
+from __future__ import annotations
+
+from repro.bandwidth.allocation import provision_for_percentile
+from repro.bandwidth.stalling import StallSimulator
+from repro.codes.rotated_surface import get_code
+from repro.experiments.base import ExperimentResult
+from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.coverage import simulate_clique_coverage
+
+DEFAULT_NUM_LOGICAL_QUBITS = 1000
+DEFAULT_ERROR_RATE = 1e-2
+DEFAULT_DISTANCE = 11
+
+
+def run(
+    num_logical_qubits: int = DEFAULT_NUM_LOGICAL_QUBITS,
+    physical_error_rate: float = DEFAULT_ERROR_RATE,
+    code_distance: int = DEFAULT_DISTANCE,
+    timeline_cycles: int = 100,
+    coverage_cycles: int = 20_000,
+    seed: int = 2027,
+    percentiles: tuple[float, float] = (50.0, 99.0),
+) -> ExperimentResult:
+    """Reproduce the Fig. 9 timelines: decode demand vs provisioned bandwidth.
+
+    The off-chip request rate per logical qubit is measured with the Clique
+    coverage simulator, then a 1000-logical-qubit machine is provisioned for
+    the two percentiles and simulated cycle by cycle.
+    """
+    code = get_code(code_distance)
+    noise = PhenomenologicalNoise(physical_error_rate)
+    coverage = simulate_clique_coverage(code, noise, coverage_cycles, rng=seed)
+    offchip_rate = max(coverage.offchip_fraction, 1.0 / coverage_cycles)
+
+    rows = []
+    for index, percentile in enumerate(percentiles):
+        plan = provision_for_percentile(num_logical_qubits, offchip_rate, percentile)
+        simulator = StallSimulator(plan, seed=seed + 1 + index)
+        result = simulator.run(timeline_cycles, keep_records=True)
+        peak_demand = max((record.demand for record in result.records), default=0)
+        rows.append(
+            {
+                "percentile": percentile,
+                "offchip_rate_per_qubit": offchip_rate,
+                "provisioned_decodes_per_cycle": plan.decodes_per_cycle,
+                "mean_demand_per_cycle": plan.mean_requests_per_cycle,
+                "peak_demand_per_cycle": peak_demand,
+                "program_cycles": result.program_cycles,
+                "stall_cycles": result.stall_cycles,
+                "stall_fraction": result.stall_fraction,
+                "max_backlog": result.max_backlog,
+                "completed": result.completed,
+            }
+        )
+    notes = (
+        "Paper observation: provisioning at the mean (50th percentile) stalls on\n"
+        "nearly every cycle and the backlog never drains; provisioning at the\n"
+        "99th percentile stalls only rarely and carryovers clear immediately."
+    )
+    return ExperimentResult(
+        experiment_id="fig09",
+        title="Off-chip decode backlog vs provisioning percentile",
+        rows=rows,
+        notes=notes,
+    )
+
+
+def timeline(
+    num_logical_qubits: int = DEFAULT_NUM_LOGICAL_QUBITS,
+    offchip_rate: float = 0.05,
+    percentile: float = 99.0,
+    cycles: int = 100,
+    seed: int = 2027,
+) -> ExperimentResult:
+    """Per-cycle timeline rows (the bar-chart material of Fig. 9)."""
+    plan = provision_for_percentile(num_logical_qubits, offchip_rate, percentile)
+    simulator = StallSimulator(plan, seed=seed)
+    result = simulator.run(cycles, keep_records=True)
+    rows = [
+        {
+            "cycle": record.cycle,
+            "new_decodes": record.new_requests,
+            "carryover": record.carryover,
+            "served": record.served,
+            "is_stall": record.is_stall,
+            "bandwidth": plan.decodes_per_cycle,
+        }
+        for record in result.records
+    ]
+    return ExperimentResult(
+        experiment_id="fig09-timeline",
+        title=f"Per-cycle decode timeline at the {percentile:g}th percentile",
+        rows=rows,
+    )
+
+
+__all__ = ["run", "timeline"]

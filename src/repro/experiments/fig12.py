@@ -1,0 +1,57 @@
+"""Fig. 12 — share of on-chip decodes that carry non-all-zero signatures."""
+
+from __future__ import annotations
+
+from repro.codes.rotated_surface import get_code
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig11 import DEFAULT_DISTANCES, DEFAULT_ERROR_RATES
+from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.coverage import simulate_clique_coverage
+
+
+def run(
+    cycles: int = 20_000,
+    seed: int = 2024,
+    distances: tuple[int, ...] = DEFAULT_DISTANCES,
+    error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
+    measurement_rounds: int = 2,
+) -> ExperimentResult:
+    """Reproduce Fig. 12: how much real decoding work Clique does beyond zero suppression."""
+    rows = []
+    for rate_index, error_rate in enumerate(error_rates):
+        noise = PhenomenologicalNoise(error_rate)
+        for distance_index, distance in enumerate(distances):
+            code = get_code(distance)
+            result = simulate_clique_coverage(
+                code,
+                noise,
+                cycles,
+                measurement_rounds=measurement_rounds,
+                rng=seed + 1000 * rate_index + distance_index,
+            )
+            rows.append(
+                {
+                    "physical_error_rate": error_rate,
+                    "code_distance": distance,
+                    "cycles": cycles,
+                    "onchip_not_all_zeros_pct": 100.0 * result.onchip_nonzero_share,
+                    "nonzero_handled_onchip_pct": 100.0 * result.nonzero_coverage,
+                    "all_zeros_pct": 100.0 * (result.all_zero_cycles / result.cycles),
+                }
+            )
+    notes = (
+        "Paper observation: near the surface-code threshold (highest error\n"
+        "rates) and at high code distances nearly all on-chip decodes carry a\n"
+        "non-zero signature, so zero-suppression alone (ship everything that is\n"
+        "not all-0s) would save almost no bandwidth — a real trivial-case\n"
+        "decoder like Clique is required."
+    )
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="On-chip decodes that are not all-zeros",
+        rows=rows,
+        notes=notes,
+    )
+
+
+__all__ = ["run"]

@@ -1,0 +1,76 @@
+"""Fig. 13 — average off-chip data reduction: Clique vs AFS sparse compression."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bandwidth.afs import (
+    afs_compression_reduction,
+    clique_offchip_reduction,
+    zero_suppression_reduction,
+)
+from repro.codes.rotated_surface import get_code
+from repro.experiments.base import ExperimentResult
+from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.coverage import simulate_clique_coverage
+
+DEFAULT_DISTANCES = (3, 5, 7, 9, 11, 13, 15, 17, 21)
+DEFAULT_ERROR_RATES = (1e-4, 1e-3, 5e-3, 1e-2)
+
+
+def run(
+    cycles: int = 20_000,
+    seed: int = 2025,
+    distances: tuple[int, ...] = DEFAULT_DISTANCES,
+    error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
+) -> ExperimentResult:
+    """Reproduce Fig. 13: off-chip data reduction of Clique, AFS and zero suppression.
+
+    Clique's reduction is measured behaviourally (one over the simulated
+    off-chip cycle fraction); AFS's is computed analytically from the sparse
+    representation formula; finite simulations cap the Clique reduction at
+    the number of simulated cycles when no cycle had to go off-chip.
+    """
+    rows = []
+    for rate_index, error_rate in enumerate(error_rates):
+        noise = PhenomenologicalNoise(error_rate)
+        for distance_index, distance in enumerate(distances):
+            code = get_code(distance)
+            coverage = simulate_clique_coverage(
+                code,
+                noise,
+                cycles,
+                rng=seed + 1000 * rate_index + distance_index,
+            )
+            clique_reduction = clique_offchip_reduction(coverage.offchip_fraction)
+            if math.isinf(clique_reduction):
+                clique_reduction = float(cycles)
+            afs_reduction = afs_compression_reduction(distance, error_rate)
+            rows.append(
+                {
+                    "physical_error_rate": error_rate,
+                    "code_distance": distance,
+                    "clique_reduction_x": clique_reduction,
+                    "afs_reduction_x": afs_reduction,
+                    "zero_suppression_reduction_x": zero_suppression_reduction(
+                        distance, error_rate
+                    ),
+                    "clique_vs_afs_x": clique_reduction / afs_reduction,
+                }
+            )
+    notes = (
+        "Paper observation: Clique reduces off-chip data by 10x-10000x more than\n"
+        "AFS sparse-representation compression; AFS benefits grow with distance\n"
+        "while Clique benefits shrink, but both saturate with Clique at least an\n"
+        "order of magnitude ahead.  Clique reductions reported here are capped at\n"
+        "the simulated cycle count when no off-chip decode was observed."
+    )
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Off-chip data reduction: Clique vs AFS",
+        rows=rows,
+        notes=notes,
+    )
+
+
+__all__ = ["run", "DEFAULT_DISTANCES", "DEFAULT_ERROR_RATES"]

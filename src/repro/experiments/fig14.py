@@ -1,0 +1,87 @@
+"""Fig. 14 — logical error rate of Clique+MWPM vs the MWPM baseline."""
+
+from __future__ import annotations
+
+from repro.clique.hierarchical import HierarchicalDecoder
+from repro.codes.rotated_surface import RotatedSurfaceCode, get_code
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.base import ExperimentResult
+from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.memory import run_memory_experiment
+from repro.types import StabilizerType
+
+DEFAULT_DISTANCES = (3, 5, 7)
+DEFAULT_ERROR_RATES = (5e-3, 1e-2, 2e-2, 3e-2)
+
+
+def _mwpm_factory(code: RotatedSurfaceCode, stype: StabilizerType) -> MWPMDecoder:
+    return MWPMDecoder(code, stype)
+
+
+def _hierarchical_factory(code: RotatedSurfaceCode, stype: StabilizerType) -> HierarchicalDecoder:
+    return HierarchicalDecoder(code, stype)
+
+
+def run(
+    trials: int = 1_000,
+    seed: int = 2026,
+    distances: tuple[int, ...] = DEFAULT_DISTANCES,
+    error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
+    rounds: int | None = None,
+) -> ExperimentResult:
+    """Reproduce the Fig. 14 comparison (baseline vs Clique + baseline).
+
+    The paper runs distances 3-11 over a billion cycles; the default here is
+    laptop-scale (the statistical shape — near-identical curves, with at most
+    a marginal gap at larger distances — is what the benchmark asserts).
+    """
+    rows = []
+    for distance_index, distance in enumerate(distances):
+        code = get_code(distance)
+        for rate_index, error_rate in enumerate(error_rates):
+            noise = PhenomenologicalNoise(error_rate)
+            base_seed = seed + 100 * distance_index + rate_index
+            baseline = run_memory_experiment(
+                code,
+                noise,
+                _mwpm_factory,
+                trials=trials,
+                rounds=rounds,
+                rng=base_seed,
+                decoder_name="MWPM",
+            )
+            hierarchical = run_memory_experiment(
+                code,
+                noise,
+                _hierarchical_factory,
+                trials=trials,
+                rounds=rounds,
+                rng=base_seed,
+                decoder_name="Clique+MWPM",
+            )
+            rows.append(
+                {
+                    "code_distance": distance,
+                    "physical_error_rate": error_rate,
+                    "trials": trials,
+                    "baseline_logical_error_rate": baseline.logical_error_rate,
+                    "clique_logical_error_rate": hierarchical.logical_error_rate,
+                    "baseline_ci_high": baseline.confidence_interval[1],
+                    "clique_ci_high": hierarchical.confidence_interval[1],
+                    "onchip_round_fraction": hierarchical.onchip_round_fraction,
+                }
+            )
+    notes = (
+        "Paper observation: Clique+MWPM tracks the MWPM baseline almost exactly\n"
+        "at d=3/5/7 and is marginally worse at d=9/11 because the primary design\n"
+        "only uses two measurement rounds for persistence filtering."
+    )
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Logical error rate: MWPM baseline vs Clique+MWPM",
+        rows=rows,
+        notes=notes,
+    )
+
+
+__all__ = ["run", "DEFAULT_DISTANCES", "DEFAULT_ERROR_RATES"]

@@ -1,0 +1,72 @@
+"""Fig. 16 — bandwidth reduction vs execution-time increase trade-off."""
+
+from __future__ import annotations
+
+from repro.bandwidth.allocation import provision_for_percentile
+from repro.bandwidth.stalling import StallSimulator
+from repro.codes.rotated_surface import get_code
+from repro.experiments.base import ExperimentResult
+from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.coverage import simulate_clique_coverage
+
+#: Three operating points in the spirit of the paper's three curves.
+DEFAULT_OPERATING_POINTS = ((1e-2, 11), (5e-3, 13), (1e-3, 9))
+DEFAULT_PERCENTILES = (50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 99.99)
+
+
+def run(
+    operating_points: tuple[tuple[float, int], ...] = DEFAULT_OPERATING_POINTS,
+    percentiles: tuple[float, ...] = DEFAULT_PERCENTILES,
+    num_logical_qubits: int = 1000,
+    program_cycles: int = 20_000,
+    coverage_cycles: int = 20_000,
+    seed: int = 2028,
+) -> ExperimentResult:
+    """Reproduce the Fig. 16 trade-off curves.
+
+    For each operating point the per-qubit off-chip rate is measured, then a
+    sweep over provisioning percentiles yields (bandwidth reduction,
+    execution-time increase) pairs.
+    """
+    rows = []
+    for point_index, (error_rate, distance) in enumerate(operating_points):
+        code = get_code(distance)
+        noise = PhenomenologicalNoise(error_rate)
+        coverage = simulate_clique_coverage(
+            code, noise, coverage_cycles, rng=seed + point_index
+        )
+        offchip_rate = max(coverage.offchip_fraction, 1.0 / coverage_cycles)
+        for percentile_index, percentile in enumerate(percentiles):
+            plan = provision_for_percentile(num_logical_qubits, offchip_rate, percentile)
+            simulator = StallSimulator(
+                plan, seed=seed + 100 * point_index + percentile_index
+            )
+            result = simulator.run(program_cycles)
+            rows.append(
+                {
+                    "physical_error_rate": error_rate,
+                    "code_distance": distance,
+                    "offchip_rate_per_qubit": offchip_rate,
+                    "percentile": percentile,
+                    "provisioned_decodes_per_cycle": plan.decodes_per_cycle,
+                    "bandwidth_reduction_x": plan.bandwidth_reduction,
+                    "execution_time_increase_pct": 100.0 * result.execution_time_increase,
+                    "completed": result.completed,
+                }
+            )
+    notes = (
+        "Paper observation: provisioning strictly at the average Clique coverage\n"
+        "never completes (unbounded backlog), while modestly conservative\n"
+        "provisioning achieves order-of-magnitude bandwidth reductions at a ~10%\n"
+        "execution-time increase; the knee of the curve moves with the operating\n"
+        "point."
+    )
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="Bandwidth reduction vs execution-time increase",
+        rows=rows,
+        notes=notes,
+    )
+
+
+__all__ = ["run", "DEFAULT_OPERATING_POINTS", "DEFAULT_PERCENTILES"]

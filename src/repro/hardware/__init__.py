@@ -1,0 +1,34 @@
+"""Cryogenic (ERSFQ) hardware cost model for the Clique decoder.
+
+The paper synthesises the Clique decoder for ERSFQ logic with the cell
+library of Table 1 and reports power, area and latency per logical qubit
+(Fig. 15), plus a comparison against the NISQ+ on-chip decoder.  This package
+reproduces that flow analytically: a netlist generator emits the gate-level
+structure of the decision logic (Figs. 6-7), SFQ-specific splitter and
+path-balancing overheads are added, and the result is costed with the Table 1
+cells.
+"""
+
+from repro.hardware.cells import CellLibrary, CellSpec, ERSFQ_LIBRARY
+from repro.hardware.estimates import (
+    DecoderOverheads,
+    clique_overheads,
+    compare_with_nisqplus,
+    estimate_overheads,
+)
+from repro.hardware.netlist import Netlist
+from repro.hardware.nisqplus import nisqplus_overheads
+from repro.hardware.synthesis import synthesize_clique_decoder
+
+__all__ = [
+    "CellSpec",
+    "CellLibrary",
+    "ERSFQ_LIBRARY",
+    "Netlist",
+    "synthesize_clique_decoder",
+    "DecoderOverheads",
+    "estimate_overheads",
+    "clique_overheads",
+    "nisqplus_overheads",
+    "compare_with_nisqplus",
+]

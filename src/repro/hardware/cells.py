@@ -1,0 +1,77 @@
+"""ERSFQ standard-cell library (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SynthesisError
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """A single ERSFQ standard cell.
+
+    Attributes:
+        name: cell name as used in the netlist (``XOR2``, ``AND2`` ...).
+        delay_ps: propagation delay in picoseconds.
+        area_um2: layout area in square micrometres.
+        jj_count: number of Josephson junctions in the cell.
+    """
+
+    name: str
+    delay_ps: float
+    area_um2: float
+    jj_count: int
+
+
+#: Table 1 of the paper, verbatim.
+ERSFQ_LIBRARY_CELLS: tuple[CellSpec, ...] = (
+    CellSpec("XOR2", delay_ps=6.2, area_um2=7000.0, jj_count=18),
+    CellSpec("AND2", delay_ps=8.2, area_um2=7000.0, jj_count=16),
+    CellSpec("OR2", delay_ps=5.4, area_um2=7000.0, jj_count=14),
+    CellSpec("NOT", delay_ps=12.8, area_um2=7000.0, jj_count=12),
+    CellSpec("DFF", delay_ps=8.6, area_um2=5600.0, jj_count=10),
+    CellSpec("SPLIT", delay_ps=7.0, area_um2=3500.0, jj_count=4),
+)
+
+
+class CellLibrary:
+    """A lookup table of :class:`CellSpec` entries keyed by cell name."""
+
+    def __init__(self, cells: tuple[CellSpec, ...] | list[CellSpec]) -> None:
+        if not cells:
+            raise SynthesisError("cell library cannot be empty")
+        self._cells = {cell.name: cell for cell in cells}
+        if len(self._cells) != len(cells):
+            raise SynthesisError("duplicate cell names in library")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __getitem__(self, name: str) -> CellSpec:
+        try:
+            return self._cells[name]
+        except KeyError as exc:
+            raise SynthesisError(
+                f"cell {name!r} not in library (have: {sorted(self._cells)})"
+            ) from exc
+
+    @property
+    def cell_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._cells))
+
+    def delay_ps(self, name: str) -> float:
+        return self[name].delay_ps
+
+    def area_um2(self, name: str) -> float:
+        return self[name].area_um2
+
+    def jj_count(self, name: str) -> int:
+        return self[name].jj_count
+
+
+#: The library instance used by default throughout the package.
+ERSFQ_LIBRARY = CellLibrary(ERSFQ_LIBRARY_CELLS)
+
+
+__all__ = ["CellSpec", "CellLibrary", "ERSFQ_LIBRARY", "ERSFQ_LIBRARY_CELLS"]

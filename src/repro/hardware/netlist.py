@@ -1,0 +1,88 @@
+"""Gate-level netlist abstraction used by the synthesis and costing flow."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.exceptions import SynthesisError
+from repro.hardware.cells import CellLibrary, ERSFQ_LIBRARY
+
+
+@dataclass
+class Netlist:
+    """A flattened cell-count view of a synthesised circuit.
+
+    SFQ costing needs only aggregate quantities: how many instances of each
+    cell are present, and the depth of the critical path expressed as an
+    ordered list of cell names.  Netlists compose with ``+`` so per-clique and
+    per-ancilla sub-circuits can be generated independently and merged.
+    """
+
+    name: str = "netlist"
+    cell_counts: Counter = field(default_factory=Counter)
+    critical_path: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    def add_cells(self, cell_name: str, count: int = 1) -> None:
+        """Add ``count`` instances of a cell type."""
+        if count < 0:
+            raise SynthesisError(f"cannot add a negative number of {cell_name} cells")
+        if count:
+            self.cell_counts[cell_name] += count
+
+    def merge(self, other: "Netlist", share_critical_path: bool = False) -> "Netlist":
+        """Combine two netlists.
+
+        Args:
+            other: the netlist to merge in.
+            share_critical_path: when True the merged critical path is the
+                longer of the two (parallel composition); when False the two
+                paths are concatenated (series composition).
+        """
+        merged = Netlist(name=self.name, cell_counts=self.cell_counts + other.cell_counts)
+        if share_critical_path:
+            merged.critical_path = max(
+                (self.critical_path, other.critical_path), key=len
+            )
+        else:
+            merged.critical_path = self.critical_path + other.critical_path
+        return merged
+
+    def __add__(self, other: "Netlist") -> "Netlist":
+        return self.merge(other, share_critical_path=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cells(self) -> int:
+        return sum(self.cell_counts.values())
+
+    def total_jj(self, library: CellLibrary = ERSFQ_LIBRARY) -> int:
+        """Total Josephson-junction count."""
+        return sum(
+            library.jj_count(name) * count for name, count in self.cell_counts.items()
+        )
+
+    def total_area_um2(self, library: CellLibrary = ERSFQ_LIBRARY) -> float:
+        """Total cell area in square micrometres."""
+        return sum(
+            library.area_um2(name) * count for name, count in self.cell_counts.items()
+        )
+
+    def total_area_mm2(self, library: CellLibrary = ERSFQ_LIBRARY) -> float:
+        """Total cell area in square millimetres."""
+        return self.total_area_um2(library) / 1e6
+
+    def critical_path_delay_ps(self, library: CellLibrary = ERSFQ_LIBRARY) -> float:
+        """Sum of cell delays along the recorded critical path."""
+        return sum(library.delay_ps(name) for name in self.critical_path)
+
+    def count(self, cell_name: str) -> int:
+        return self.cell_counts.get(cell_name, 0)
+
+    def summary(self) -> dict[str, int]:
+        """Plain-dict view of the cell counts (for reports and tests)."""
+        return dict(sorted(self.cell_counts.items()))
+
+
+__all__ = ["Netlist"]

@@ -1,0 +1,136 @@
+"""Noise models used for benchmarking the decoders.
+
+The paper's evaluation (Section 6.1) uses the *phenomenological* model: each
+cycle injects independent errors on every data qubit with probability ``p``
+and flips every syndrome measurement with the same probability ``p``.  A
+*code-capacity* variant (no measurement errors) is provided for unit tests
+and for the lookup-table cross-validation decoder.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.exceptions import InvalidProbabilityError
+from repro.noise.events import CycleErrors, vector_to_errors
+from repro.noise.rng import make_rng
+from repro.types import StabilizerType
+
+
+def _validate_probability(name: str, value: float) -> float:
+    if not isinstance(value, (int, float)) or not 0.0 <= float(value) <= 1.0:
+        raise InvalidProbabilityError(name, value)
+    return float(value)
+
+
+class NoiseModel(abc.ABC):
+    """Interface for per-cycle error sampling against a surface code."""
+
+    @property
+    @abc.abstractmethod
+    def data_error_rate(self) -> float:
+        """Per-cycle, per-data-qubit error probability."""
+
+    @property
+    @abc.abstractmethod
+    def measurement_error_rate(self) -> float:
+        """Per-cycle, per-ancilla measurement flip probability."""
+
+    def sample_data_vector(
+        self,
+        code: RotatedSurfaceCode,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Binary vector of new data errors for one cycle (``code.data_qubits`` order)."""
+        return (
+            rng.random(code.num_data_qubits) < self.data_error_rate
+        ).astype(np.uint8)
+
+    def sample_measurement_vector(
+        self,
+        code: RotatedSurfaceCode,
+        stype: StabilizerType,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Binary vector of measurement flips for the ancillas of one type."""
+        return (
+            rng.random(code.num_ancillas_of_type(stype)) < self.measurement_error_rate
+        ).astype(np.uint8)
+
+    def sample_cycle(
+        self,
+        code: RotatedSurfaceCode,
+        stype: StabilizerType,
+        rng: np.random.Generator | int | None = None,
+    ) -> CycleErrors:
+        """Sample one cycle of errors and return them in coordinate form."""
+        generator = make_rng(rng)
+        data_vector = self.sample_data_vector(code, generator)
+        meas_vector = self.sample_measurement_vector(code, stype, generator)
+        ancilla_coords = tuple(a.coord for a in code.ancillas(stype))
+        return CycleErrors(
+            data_errors=vector_to_errors(data_vector, code.data_qubits),
+            measurement_errors=vector_to_errors(meas_vector, ancilla_coords),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(data={self.data_error_rate}, "
+            f"measurement={self.measurement_error_rate})"
+        )
+
+
+class PhenomenologicalNoise(NoiseModel):
+    """Data and measurement errors, each with (by default the same) probability ``p``.
+
+    Args:
+        data_error_rate: per-cycle, per-data-qubit error probability ``p``.
+        measurement_error_rate: per-cycle, per-measurement flip probability;
+            defaults to ``data_error_rate`` exactly as in the paper.
+    """
+
+    def __init__(
+        self,
+        data_error_rate: float,
+        measurement_error_rate: float | None = None,
+    ) -> None:
+        self._data = _validate_probability("data_error_rate", data_error_rate)
+        if measurement_error_rate is None:
+            measurement_error_rate = data_error_rate
+        self._measurement = _validate_probability(
+            "measurement_error_rate", measurement_error_rate
+        )
+
+    @property
+    def data_error_rate(self) -> float:
+        return self._data
+
+    @property
+    def measurement_error_rate(self) -> float:
+        return self._measurement
+
+
+class CodeCapacityNoise(NoiseModel):
+    """Data errors only; syndrome measurements are perfect.
+
+    Useful for unit tests and for validating decoders against the small-code
+    lookup table, where the absence of measurement errors makes exhaustive
+    enumeration tractable.
+    """
+
+    def __init__(self, data_error_rate: float) -> None:
+        self._data = _validate_probability("data_error_rate", data_error_rate)
+
+    @property
+    def data_error_rate(self) -> float:
+        return self._data
+
+    @property
+    def measurement_error_rate(self) -> float:
+        return 0.0
+
+
+__all__ = ["NoiseModel", "PhenomenologicalNoise", "CodeCapacityNoise"]

@@ -1,0 +1,21 @@
+"""Monte-Carlo simulation harnesses (Section 6.1 of the paper)."""
+
+from repro.simulation.coverage import CoverageResult, simulate_clique_coverage
+from repro.simulation.cycles import (
+    sample_cycle_signatures,
+    simulate_signature_distribution,
+)
+from repro.simulation.memory import MemoryExperimentResult, run_memory_experiment
+from repro.simulation.monte_carlo import wilson_interval
+from repro.simulation.results import SignatureDistribution
+
+__all__ = [
+    "sample_cycle_signatures",
+    "simulate_signature_distribution",
+    "SignatureDistribution",
+    "CoverageResult",
+    "simulate_clique_coverage",
+    "MemoryExperimentResult",
+    "run_memory_experiment",
+    "wilson_interval",
+]

@@ -1,0 +1,141 @@
+"""Clique on-chip coverage measurement (Figs. 11 and 12 of the paper).
+
+*Coverage* is the fraction of decode cycles whose signature the Clique
+decoder resolves without going off-chip.  The behavioural decision chain per
+cycle is:
+
+1. fresh data errors light up their adjacent ancillas;
+2. measurement errors are filtered by the persistence window: only flips that
+   repeat for ``measurement_rounds`` consecutive readouts reach the decision
+   logic (Section 4.3), so a persistent readout fault shows up as a lone
+   active ancilla;
+3. the Clique decision logic (Fig. 5) marks the cycle on-chip if every active
+   clique passes the local parity test, off-chip otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clique.decoder import CliqueDecoder
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.exceptions import ConfigurationError
+from repro.noise.models import NoiseModel
+from repro.noise.rng import make_rng
+from repro.simulation.monte_carlo import wilson_interval
+from repro.types import StabilizerType
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Outcome of a Clique coverage simulation at one operating point."""
+
+    physical_error_rate: float
+    code_distance: int
+    measurement_rounds: int
+    cycles: int
+    onchip_cycles: int
+    all_zero_cycles: int
+
+    @property
+    def offchip_cycles(self) -> int:
+        return self.cycles - self.onchip_cycles
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of decode cycles handled on-chip (Fig. 11's y-axis)."""
+        return self.onchip_cycles / self.cycles if self.cycles else 1.0
+
+    @property
+    def offchip_fraction(self) -> float:
+        return 1.0 - self.coverage
+
+    @property
+    def coverage_interval(self) -> tuple[float, float]:
+        return wilson_interval(self.onchip_cycles, self.cycles)
+
+    @property
+    def nonzero_cycles(self) -> int:
+        return self.cycles - self.all_zero_cycles
+
+    @property
+    def nonzero_onchip_cycles(self) -> int:
+        """On-chip cycles whose signature was not all zeros (real Clique work)."""
+        return self.onchip_cycles - self.all_zero_cycles
+
+    @property
+    def nonzero_coverage(self) -> float:
+        """Fraction of non-all-0s cycles still handled on-chip (Fig. 12's y-axis)."""
+        if self.nonzero_cycles == 0:
+            return 1.0
+        return self.nonzero_onchip_cycles / self.nonzero_cycles
+
+    @property
+    def onchip_nonzero_share(self) -> float:
+        """Share of the on-chip decodes that carried a non-trivial signature."""
+        if self.onchip_cycles == 0:
+            return 0.0
+        return self.nonzero_onchip_cycles / self.onchip_cycles
+
+
+def simulate_clique_coverage(
+    code: RotatedSurfaceCode,
+    noise: NoiseModel,
+    num_cycles: int,
+    stype: StabilizerType = StabilizerType.X,
+    measurement_rounds: int = 2,
+    rng: np.random.Generator | int | None = None,
+    batch_size: int = 50_000,
+    decoder: CliqueDecoder | None = None,
+) -> CoverageResult:
+    """Estimate Clique coverage by sampling independent decode cycles.
+
+    Measurement errors only reach the decision logic when they persist for
+    the full ``measurement_rounds`` window, which happens with probability
+    ``p ** measurement_rounds`` per ancilla per cycle; transient flips are
+    filtered on-chip for free.
+    """
+    if num_cycles <= 0:
+        raise ConfigurationError(f"num_cycles must be positive, got {num_cycles}")
+    if measurement_rounds < 1:
+        raise ConfigurationError(
+            f"measurement_rounds must be >= 1, got {measurement_rounds}"
+        )
+    generator = make_rng(rng)
+    clique = decoder or CliqueDecoder(code, stype)
+    parity_check = code.parity_check(stype).astype(np.int64)
+    persistent_flip_rate = noise.measurement_error_rate**measurement_rounds
+
+    onchip = 0
+    all_zero = 0
+    remaining = num_cycles
+    while remaining > 0:
+        batch = min(batch_size, remaining)
+        data_errors = (
+            generator.random((batch, code.num_data_qubits)) < noise.data_error_rate
+        ).astype(np.int64)
+        persistent_flips = (
+            generator.random((batch, code.num_ancillas_of_type(stype)))
+            < persistent_flip_rate
+        ).astype(np.int64)
+        signatures = ((data_errors @ parity_check.T + persistent_flips) % 2).astype(
+            np.uint8
+        )
+        trivial = clique.is_trivial_batch(signatures)
+        onchip += int(trivial.sum())
+        all_zero += int((~signatures.any(axis=-1)).sum())
+        remaining -= batch
+
+    return CoverageResult(
+        physical_error_rate=noise.data_error_rate,
+        code_distance=code.distance,
+        measurement_rounds=measurement_rounds,
+        cycles=num_cycles,
+        onchip_cycles=onchip,
+        all_zero_cycles=all_zero,
+    )
+
+
+__all__ = ["CoverageResult", "simulate_clique_coverage"]

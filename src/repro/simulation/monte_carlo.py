@@ -1,0 +1,44 @@
+"""Statistics helpers shared by the Monte-Carlo harnesses."""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Preferred over the normal approximation because the tail probabilities we
+    estimate (logical error rates, overflow probabilities) are often very
+    small relative to the number of trials.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes must lie in [0, {trials}], got {successes}"
+        )
+    proportion = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = proportion + z * z / (2 * trials)
+    margin = z * math.sqrt(
+        proportion * (1.0 - proportion) / trials + z * z / (4 * trials * trials)
+    )
+    return (
+        max(0.0, (centre - margin) / denominator),
+        min(1.0, (centre + margin) / denominator),
+    )
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """|estimate - reference| / reference (reference must be non-zero)."""
+    if reference == 0:
+        raise ConfigurationError("reference must be non-zero")
+    return abs(estimate - reference) / abs(reference)
+
+
+__all__ = ["wilson_interval", "relative_error"]

@@ -1,0 +1,64 @@
+"""Result containers shared by the simulation harnesses and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import SignatureClass
+
+
+@dataclass(frozen=True)
+class SignatureDistribution:
+    """Per-cycle signature-class distribution for one operating point (Fig. 4)."""
+
+    physical_error_rate: float
+    code_distance: int
+    cycles: int
+    all_zeros: int
+    local_ones: int
+    complex_: int
+
+    def __post_init__(self) -> None:
+        total = self.all_zeros + self.local_ones + self.complex_
+        if total != self.cycles:
+            raise ValueError(
+                f"class counts ({total}) do not sum to the number of cycles ({self.cycles})"
+            )
+
+    @property
+    def all_zeros_fraction(self) -> float:
+        return self.all_zeros / self.cycles if self.cycles else 0.0
+
+    @property
+    def local_ones_fraction(self) -> float:
+        return self.local_ones / self.cycles if self.cycles else 0.0
+
+    @property
+    def complex_fraction(self) -> float:
+        return self.complex_ / self.cycles if self.cycles else 0.0
+
+    @property
+    def trivial_fraction(self) -> float:
+        """All-0s plus Local-1s: the share a BTWC design can keep on-chip."""
+        return self.all_zeros_fraction + self.local_ones_fraction
+
+    def fraction(self, cls: SignatureClass) -> float:
+        return {
+            SignatureClass.ALL_ZEROS: self.all_zeros_fraction,
+            SignatureClass.LOCAL_ONES: self.local_ones_fraction,
+            SignatureClass.COMPLEX: self.complex_fraction,
+        }[cls]
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dictionary suitable for tabulation in experiment reports."""
+        return {
+            "physical_error_rate": self.physical_error_rate,
+            "code_distance": float(self.code_distance),
+            "cycles": float(self.cycles),
+            "all_zeros_fraction": self.all_zeros_fraction,
+            "local_ones_fraction": self.local_ones_fraction,
+            "complex_fraction": self.complex_fraction,
+        }
+
+
+__all__ = ["SignatureDistribution"]

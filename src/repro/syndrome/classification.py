@@ -1,0 +1,116 @@
+"""Ground-truth classification of per-cycle error signatures (Fig. 4).
+
+The paper buckets each decode cycle's error signature into three classes:
+
+* **All-0s** - the signature is empty (no ancilla detected anything);
+* **Local-1s** - errors occurred but all of them are *isolated*: no two error
+  events interact with a common ancilla, so purely local reasoning suffices;
+* **Complex** - at least one chain of two or more interacting errors exists,
+  so a global decoder is needed.
+
+This module classifies from the *injected* error configuration (which the
+Monte-Carlo simulator knows), mirroring how the paper's own lifetime
+simulation labels cycles.  The behavioural counterpart — what the Clique
+decoder actually handles on-chip — is measured separately by
+:mod:`repro.simulation.coverage`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.types import Coord, SignatureClass, StabilizerType
+
+
+def classify_error_configuration(
+    code: RotatedSurfaceCode,
+    stype: StabilizerType,
+    data_errors: frozenset[Coord] | set[Coord],
+    measurement_errors: frozenset[Coord] | set[Coord] = frozenset(),
+) -> SignatureClass:
+    """Classify one cycle's injected errors into All-0s / Local-1s / Complex.
+
+    ``data_errors`` are errors of the species detected by ``stype`` checks;
+    ``measurement_errors`` are ancillas (of type ``stype``) whose readout
+    flipped this cycle.
+
+    Two error events are considered part of the same chain when they touch a
+    common ancilla of the measuring type: two data errors sharing an ancilla,
+    a data error adjacent to a flipped measurement, or (degenerately) two
+    measurement flips on the same ancilla.  A configuration with any chain of
+    length >= 2 is Complex; otherwise it is Local-1s if the resulting
+    signature is non-empty and All-0s if it is empty.
+    """
+    signature = code.syndrome_of(data_errors, stype)
+    meas_index = code.ancilla_index(stype)
+    for coord in measurement_errors:
+        signature[meas_index[coord]] ^= 1
+    if not signature.any():
+        return SignatureClass.ALL_ZEROS
+
+    # Count, per ancilla, how many error events touch it.  Any ancilla touched
+    # by two or more events witnesses an interacting chain.
+    touches: Counter[Coord] = Counter()
+    parity_check_supports = {
+        ancilla.coord: set(ancilla.data_qubits) for ancilla in code.ancillas(stype)
+    }
+    for ancilla_coord, support in parity_check_supports.items():
+        for qubit in data_errors:
+            if qubit in support:
+                touches[ancilla_coord] += 1
+    for coord in measurement_errors:
+        touches[coord] += 1
+
+    if any(count >= 2 for count in touches.values()):
+        return SignatureClass.COMPLEX
+    return SignatureClass.LOCAL_ONES
+
+
+@dataclass
+class SignatureCounts:
+    """Tally of signature classes over many simulated cycles."""
+
+    all_zeros: int = 0
+    local_ones: int = 0
+    complex_: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.all_zeros + self.local_ones + self.complex_
+
+    def add(self, cls: SignatureClass, count: int = 1) -> None:
+        if cls is SignatureClass.ALL_ZEROS:
+            self.all_zeros += count
+        elif cls is SignatureClass.LOCAL_ONES:
+            self.local_ones += count
+        else:
+            self.complex_ += count
+
+    def fractions(self) -> dict[SignatureClass, float]:
+        """Normalised distribution (empty tallies return all zeros)."""
+        if self.total == 0:
+            return {cls: 0.0 for cls in SignatureClass}
+        return {
+            SignatureClass.ALL_ZEROS: self.all_zeros / self.total,
+            SignatureClass.LOCAL_ONES: self.local_ones / self.total,
+            SignatureClass.COMPLEX: self.complex_ / self.total,
+        }
+
+
+def classify_signature_counts(
+    classifications: list[SignatureClass] | tuple[SignatureClass, ...],
+) -> SignatureCounts:
+    """Aggregate a list of per-cycle classifications into a tally."""
+    counts = SignatureCounts()
+    for cls in classifications:
+        counts.add(cls)
+    return counts
+
+
+__all__ = [
+    "classify_error_configuration",
+    "SignatureCounts",
+    "classify_signature_counts",
+]

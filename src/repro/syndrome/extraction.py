@@ -1,0 +1,54 @@
+"""Syndrome extraction from data-error states.
+
+The surface code's ancilla qubits measure the parity of their neighbouring
+data qubits.  In vector form the *true* syndrome of an error state ``e`` is
+``H @ e mod 2`` where ``H`` is the parity-check matrix of the measuring
+stabilizer type; the *observed* syndrome additionally XORs in any measurement
+flips for that round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.exceptions import SyndromeShapeError
+from repro.types import Coord, StabilizerType
+
+
+def extract_syndrome(
+    code: RotatedSurfaceCode,
+    stype: StabilizerType,
+    data_error_vector: np.ndarray,
+) -> np.ndarray:
+    """True syndrome (uint8 vector) of a binary data-error vector."""
+    if len(data_error_vector) != code.num_data_qubits:
+        raise SyndromeShapeError(code.num_data_qubits, len(data_error_vector))
+    return (code.parity_check(stype) @ (data_error_vector.astype(np.uint8) & 1)) % 2
+
+
+def observed_syndrome(
+    true_syndrome: np.ndarray,
+    measurement_flips: np.ndarray | None = None,
+) -> np.ndarray:
+    """Observed syndrome after applying measurement flips (XOR)."""
+    if measurement_flips is None:
+        return true_syndrome.astype(np.uint8)
+    if len(measurement_flips) != len(true_syndrome):
+        raise SyndromeShapeError(len(true_syndrome), len(measurement_flips))
+    return (true_syndrome.astype(np.uint8) ^ measurement_flips.astype(np.uint8)) & 1
+
+
+def flipped_ancillas(
+    code: RotatedSurfaceCode,
+    stype: StabilizerType,
+    syndrome: np.ndarray,
+) -> frozenset[Coord]:
+    """Coordinates of the ancillas whose syndrome bit is set."""
+    ancillas = code.ancillas(stype)
+    if len(syndrome) != len(ancillas):
+        raise SyndromeShapeError(len(ancillas), len(syndrome))
+    return frozenset(ancillas[i].coord for i in np.flatnonzero(syndrome))
+
+
+__all__ = ["extract_syndrome", "observed_syndrome", "flipped_ancillas"]

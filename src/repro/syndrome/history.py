@@ -1,0 +1,100 @@
+"""Multi-round syndrome histories and detection events.
+
+Decoders for circuit-level or phenomenological noise do not operate on raw
+syndromes but on *detection events*: the XOR of consecutive rounds' observed
+syndromes (a "difference syndrome").  A fresh data error produces a pair of
+detection events in the same round (one per adjacent ancilla, or a single
+event next to a boundary); a measurement error produces a pair of detection
+events on the *same ancilla* in consecutive rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SyndromeShapeError
+
+
+@dataclass(frozen=True, order=True)
+class DetectionEvent:
+    """A single space-time detection event.
+
+    Attributes:
+        round: measurement round index (0-based).
+        ancilla_index: index of the ancilla within its stabilizer type.
+    """
+
+    round: int
+    ancilla_index: int
+
+
+class SyndromeHistory:
+    """Accumulates observed syndromes round by round and derives detection events."""
+
+    def __init__(self, num_ancillas: int) -> None:
+        if num_ancillas <= 0:
+            raise ValueError(f"num_ancillas must be positive, got {num_ancillas}")
+        self._num_ancillas = num_ancillas
+        self._rounds: list[np.ndarray] = []
+
+    @property
+    def num_ancillas(self) -> int:
+        return self._num_ancillas
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rounds)
+
+    def record(self, observed: np.ndarray) -> None:
+        """Append one round's observed syndrome."""
+        if len(observed) != self._num_ancillas:
+            raise SyndromeShapeError(self._num_ancillas, len(observed))
+        self._rounds.append(observed.astype(np.uint8) & 1)
+
+    def observed(self, round_index: int) -> np.ndarray:
+        """The observed syndrome recorded for a given round."""
+        return self._rounds[round_index].copy()
+
+    def detection_matrix(self) -> np.ndarray:
+        """Matrix of detection events, shape ``(num_rounds, num_ancillas)``.
+
+        Round ``t``'s detections are the XOR of round ``t`` with round
+        ``t - 1`` (round 0 is compared against the all-zero reference frame).
+        """
+        if not self._rounds:
+            return np.zeros((0, self._num_ancillas), dtype=np.uint8)
+        stacked = np.stack(self._rounds)
+        previous = np.vstack(
+            [np.zeros((1, self._num_ancillas), dtype=np.uint8), stacked[:-1]]
+        )
+        return stacked ^ previous
+
+    def detection_events(self) -> list[DetectionEvent]:
+        """All detection events as a sorted list."""
+        matrix = self.detection_matrix()
+        rounds, ancillas = np.nonzero(matrix)
+        return sorted(
+            DetectionEvent(round=int(r), ancilla_index=int(a))
+            for r, a in zip(rounds, ancillas)
+        )
+
+    def events_in_round(self, round_index: int) -> list[DetectionEvent]:
+        """Detection events whose round equals ``round_index``."""
+        matrix = self.detection_matrix()
+        if not 0 <= round_index < len(matrix):
+            raise IndexError(
+                f"round {round_index} out of range for {len(matrix)} recorded rounds"
+            )
+        return [
+            DetectionEvent(round=round_index, ancilla_index=int(a))
+            for a in np.flatnonzero(matrix[round_index])
+        ]
+
+    def total_detection_count(self) -> int:
+        """Number of detection events across all rounds."""
+        return int(self.detection_matrix().sum())
+
+
+__all__ = ["DetectionEvent", "SyndromeHistory"]

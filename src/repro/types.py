@@ -1,0 +1,112 @@
+"""Common value types shared across the library.
+
+The geometry convention used throughout the package is the *doubled
+coordinate* system:
+
+* data qubits live on even/even coordinates ``(2 * row, 2 * col)``;
+* ancilla (parity) qubits live on odd/odd coordinates ``(2 * r + 1, 2 * c + 1)``
+  where ``(r, c)`` indexes the plaquette between data-qubit rows ``r``/``r+1``
+  and columns ``c``/``c+1``.
+
+Doubled coordinates keep every position an exact integer pair, which makes
+them hashable, sortable and safe to use as dictionary keys without floating
+point round-off.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class Coord(NamedTuple):
+    """A lattice position in doubled coordinates."""
+
+    row: int
+    col: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.row}, {self.col})"
+
+    def offset(self, drow: int, dcol: int) -> "Coord":
+        """Return the coordinate shifted by ``(drow, dcol)``."""
+        return Coord(self.row + drow, self.col + dcol)
+
+    @property
+    def is_data(self) -> bool:
+        """True when the coordinate addresses a data qubit (even/even)."""
+        return self.row % 2 == 0 and self.col % 2 == 0
+
+    @property
+    def is_ancilla(self) -> bool:
+        """True when the coordinate addresses an ancilla qubit (odd/odd)."""
+        return self.row % 2 == 1 and self.col % 2 == 1
+
+
+class StabilizerType(enum.Enum):
+    """The Pauli type of a stabilizer (parity check).
+
+    ``X`` stabilizers detect ``Z`` data errors and ``Z`` stabilizers detect
+    ``X`` data errors.  Because the surface code is a CSS code the two error
+    species are decoded independently (see Section 6.1 of the paper), so most
+    of the library operates on one :class:`StabilizerType` at a time.
+    """
+
+    X = "X"
+    Z = "Z"
+
+    @property
+    def detects(self) -> "PauliError":
+        """The data-qubit Pauli error species this stabilizer type detects."""
+        return PauliError.Z if self is StabilizerType.X else PauliError.X
+
+    @property
+    def opposite(self) -> "StabilizerType":
+        return StabilizerType.Z if self is StabilizerType.X else StabilizerType.X
+
+
+class PauliError(enum.Enum):
+    """A single-qubit Pauli error species."""
+
+    X = "X"
+    Y = "Y"
+    Z = "Z"
+
+    @property
+    def detected_by(self) -> StabilizerType:
+        """The stabilizer type that detects this error (Y is detected by both)."""
+        if self is PauliError.Z:
+            return StabilizerType.X
+        if self is PauliError.X:
+            return StabilizerType.Z
+        raise ValueError("Y errors are detected by both stabilizer types")
+
+
+class SignatureClass(enum.Enum):
+    """Classification of a per-cycle error signature (Fig. 4 of the paper).
+
+    * ``ALL_ZEROS`` - no ancilla reported an error this cycle.
+    * ``LOCAL_ONES`` - errors occurred but every one of them is isolated, i.e.
+      decodable by purely local (clique) reasoning.
+    * ``COMPLEX`` - at least one error chain requires global decoding.
+    """
+
+    ALL_ZEROS = "all-0s"
+    LOCAL_ONES = "local-1s"
+    COMPLEX = "complex"
+
+
+class DecodeLocation(enum.Enum):
+    """Where a decode was ultimately performed in the BTWC hierarchy."""
+
+    ON_CHIP = "on-chip"
+    OFF_CHIP = "off-chip"
+
+
+__all__ = [
+    "Coord",
+    "StabilizerType",
+    "PauliError",
+    "SignatureClass",
+    "DecodeLocation",
+]

@@ -1,0 +1,95 @@
+"""Tests for the AFS sparse-representation compression model (Fig. 13)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bandwidth.afs import (
+    afs_average_compressed_bits,
+    afs_compression_reduction,
+    clique_offchip_reduction,
+    sparse_representation_bits,
+    zero_suppression_reduction,
+)
+from repro.bandwidth.traffic import syndrome_bits_per_cycle
+from repro.exceptions import ConfigurationError, InvalidProbabilityError
+
+
+class TestSparseRepresentationBits:
+    def test_all_zero_syndrome_costs_one_bit(self):
+        assert sparse_representation_bits(440, 0) == 1
+
+    def test_nonzero_costs_index_bits_per_set_bit(self):
+        # N = 440 -> ceil(log2) = 9 bits per index.
+        assert sparse_representation_bits(440, 1) == 1 + 9
+        assert sparse_representation_bits(440, 5) == 1 + 45
+
+    def test_power_of_two_lengths(self):
+        assert sparse_representation_bits(8, 2) == 1 + 2 * 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            sparse_representation_bits(0, 0)
+        with pytest.raises(ConfigurationError):
+            sparse_representation_bits(8, 9)
+
+    def test_compression_can_expand_dense_syndromes(self):
+        # The paper's point: with many set bits the "compressed" form is
+        # larger than the raw syndrome.
+        assert sparse_representation_bits(24, 10) > 24
+
+
+class TestAfsAverages:
+    def test_average_bits_grow_with_error_rate(self):
+        assert afs_average_compressed_bits(9, 1e-2) > afs_average_compressed_bits(9, 1e-3)
+
+    def test_reduction_shrinks_with_error_rate(self):
+        assert afs_compression_reduction(9, 1e-3) > afs_compression_reduction(9, 1e-2)
+
+    def test_reduction_bounded_by_syndrome_length(self):
+        for distance in (3, 9, 21):
+            assert afs_compression_reduction(distance, 1e-3) <= syndrome_bits_per_cycle(
+                distance
+            )
+
+    def test_afs_benefit_grows_with_distance_at_fixed_rate(self):
+        # The paper notes AFS benefits initially grow with code distance.
+        assert afs_compression_reduction(21, 1e-3) > afs_compression_reduction(3, 1e-3)
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(InvalidProbabilityError):
+            afs_average_compressed_bits(9, 0.0)
+
+
+class TestCliqueReduction:
+    def test_inverse_of_offchip_fraction(self):
+        assert clique_offchip_reduction(0.01) == pytest.approx(100.0)
+
+    def test_zero_offchip_fraction_is_unbounded(self):
+        assert math.isinf(clique_offchip_reduction(0.0))
+
+    def test_rejects_invalid_fraction(self):
+        with pytest.raises(InvalidProbabilityError):
+            clique_offchip_reduction(1.5)
+
+    def test_clique_beats_afs_by_orders_of_magnitude(self):
+        # Fig. 13's headline: 10x-10000x advantage.  At p = 1e-3 and d = 9 the
+        # Clique off-chip fraction is well below 1e-2 (see coverage tests), so
+        # even a conservative 1e-2 fraction beats AFS by >= 10x.
+        clique = clique_offchip_reduction(1e-2)
+        afs = afs_compression_reduction(9, 1e-3)
+        assert clique / afs >= 2.0
+        clique_realistic = clique_offchip_reduction(1e-3)
+        assert clique_realistic / afs >= 10.0
+
+
+class TestZeroSuppression:
+    def test_less_effective_than_clique_near_threshold(self):
+        # Near threshold almost every cycle is non-zero, so zero suppression
+        # saves little (the Fig. 12 argument).
+        assert zero_suppression_reduction(21, 1e-2) < 2.0
+
+    def test_more_effective_at_low_rates(self):
+        assert zero_suppression_reduction(3, 1e-4) > 100.0

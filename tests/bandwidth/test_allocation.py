@@ -1,0 +1,79 @@
+"""Tests for statistical off-chip bandwidth allocation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.bandwidth.allocation import (
+    BandwidthPlan,
+    provision_for_percentile,
+    provisioning_sweep,
+)
+from repro.exceptions import BandwidthConfigurationError, InvalidProbabilityError
+
+
+class TestProvisioning:
+    def test_capacity_covers_requested_percentile(self):
+        plan = provision_for_percentile(1000, 0.05, 99.0)
+        demand = stats.binom(1000, 0.05)
+        assert demand.cdf(plan.decodes_per_cycle) >= 0.99
+
+    def test_higher_percentile_needs_more_bandwidth(self):
+        low = provision_for_percentile(1000, 0.05, 50.0)
+        high = provision_for_percentile(1000, 0.05, 99.9)
+        assert high.decodes_per_cycle > low.decodes_per_cycle
+
+    def test_median_provisioning_is_close_to_mean(self):
+        plan = provision_for_percentile(1000, 0.05, 50.0)
+        assert abs(plan.decodes_per_cycle - 50) <= 2
+
+    def test_minimum_of_one_decode_per_cycle(self):
+        plan = provision_for_percentile(1000, 1e-6, 50.0)
+        assert plan.decodes_per_cycle == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(BandwidthConfigurationError):
+            provision_for_percentile(0, 0.05, 99.0)
+        with pytest.raises(InvalidProbabilityError):
+            provision_for_percentile(100, 1.5, 99.0)
+        with pytest.raises(BandwidthConfigurationError):
+            provision_for_percentile(100, 0.05, 100.0)
+
+
+class TestBandwidthPlan:
+    def test_bandwidth_reduction_relative_to_all_qubits(self):
+        plan = BandwidthPlan(
+            num_logical_qubits=1000, offchip_rate=0.05, percentile=99.0, decodes_per_cycle=80
+        )
+        assert plan.bandwidth_reduction == pytest.approx(12.5)
+
+    def test_zero_capacity_reduction_is_infinite(self):
+        plan = BandwidthPlan(1000, 0.05, 99.0, 0)
+        assert math.isinf(plan.bandwidth_reduction)
+
+    def test_mean_requests(self):
+        plan = BandwidthPlan(1000, 0.05, 99.0, 80)
+        assert plan.mean_requests_per_cycle == pytest.approx(50.0)
+
+    def test_headroom_above_one_for_high_percentiles(self):
+        plan = provision_for_percentile(1000, 0.05, 99.0)
+        assert plan.headroom > 1.0
+
+    def test_headroom_infinite_when_no_demand(self):
+        plan = BandwidthPlan(1000, 0.0, 99.0, 1)
+        assert math.isinf(plan.headroom)
+
+
+class TestSweep:
+    def test_sweep_returns_one_plan_per_percentile(self):
+        plans = provisioning_sweep(500, 0.02, percentiles=(50.0, 90.0, 99.0))
+        assert len(plans) == 3
+        assert [plan.percentile for plan in plans] == [50.0, 90.0, 99.0]
+
+    def test_sweep_capacity_is_nondecreasing(self):
+        plans = provisioning_sweep(500, 0.02)
+        capacities = [plan.decodes_per_cycle for plan in plans]
+        assert capacities == sorted(capacities)

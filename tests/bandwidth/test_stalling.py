@@ -1,0 +1,99 @@
+"""Tests for the decode-overflow stalling simulator (Figs. 9 and 16)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bandwidth.allocation import BandwidthPlan, provision_for_percentile
+from repro.bandwidth.stalling import StallSimulator, tradeoff_curve
+from repro.exceptions import BandwidthConfigurationError
+
+
+class TestStallSimulator:
+    def test_rejects_zero_capacity_plan(self):
+        plan = BandwidthPlan(100, 0.1, 50.0, 0)
+        with pytest.raises(BandwidthConfigurationError):
+            StallSimulator(plan)
+
+    def test_rejects_nonpositive_program_cycles(self):
+        plan = provision_for_percentile(100, 0.01, 99.0)
+        with pytest.raises(BandwidthConfigurationError):
+            StallSimulator(plan, seed=0).run(0)
+
+    def test_no_demand_means_no_stalls(self):
+        plan = BandwidthPlan(100, 0.0, 99.0, 1)
+        result = StallSimulator(plan, seed=0).run(500)
+        assert result.stall_cycles == 0
+        assert result.execution_time_increase == 0.0
+        assert result.completed
+
+    def test_high_percentile_provisioning_rarely_stalls(self):
+        plan = provision_for_percentile(1000, 0.05, 99.9)
+        result = StallSimulator(plan, seed=1).run(2000)
+        assert result.completed
+        assert result.execution_time_increase < 0.05
+
+    def test_mean_provisioning_stalls_heavily_or_aborts(self):
+        plan = provision_for_percentile(1000, 0.05, 50.0)
+        result = StallSimulator(plan, seed=2).run(2000, abort_backlog_factor=20.0)
+        heavily_stalled = result.stall_fraction > 0.3
+        assert heavily_stalled or not result.completed
+
+    def test_aborted_run_reports_infinite_slowdown(self):
+        # Capacity strictly below the mean demand: the backlog diverges.
+        plan = BandwidthPlan(1000, 0.05, 50.0, 10)
+        result = StallSimulator(plan, seed=3).run(5000, abort_backlog_factor=10.0)
+        assert not result.completed
+        assert math.isinf(result.execution_time_increase)
+
+    def test_cycle_records_conserve_requests(self):
+        plan = provision_for_percentile(200, 0.1, 90.0)
+        result = StallSimulator(plan, seed=4).run(200, keep_records=True)
+        for record in result.records:
+            assert record.served <= plan.decodes_per_cycle
+            assert record.served <= record.demand
+            assert record.demand == record.new_requests + record.carryover
+
+    def test_carryover_matches_previous_cycle_backlog(self):
+        plan = provision_for_percentile(200, 0.1, 90.0)
+        result = StallSimulator(plan, seed=5).run(200, keep_records=True)
+        previous_backlog = 0
+        for record in result.records:
+            assert record.carryover == previous_backlog
+            previous_backlog = record.demand - record.served
+
+    def test_stall_cycles_follow_backlog(self):
+        plan = provision_for_percentile(200, 0.1, 90.0)
+        result = StallSimulator(plan, seed=6).run(200, keep_records=True)
+        for record in result.records:
+            assert record.is_stall == (record.carryover > 0)
+
+    def test_total_cycles_adds_up(self):
+        plan = provision_for_percentile(500, 0.02, 99.0)
+        result = StallSimulator(plan, seed=7).run(300)
+        assert result.total_cycles == result.program_cycles + result.stall_cycles
+        assert result.program_cycles == 300
+
+
+class TestTradeoffCurve:
+    def test_returns_one_result_per_plan(self):
+        plans = [
+            provision_for_percentile(500, 0.05, percentile)
+            for percentile in (90.0, 99.0, 99.9)
+        ]
+        results = tradeoff_curve(plans, program_cycles=500, seed=8)
+        assert len(results) == 3
+        assert all(result.plan is plan for plan, result in results)
+
+    def test_more_bandwidth_means_less_stalling(self):
+        plans = [
+            provision_for_percentile(1000, 0.05, percentile)
+            for percentile in (75.0, 99.9)
+        ]
+        results = dict(
+            (plan.percentile, result.execution_time_increase)
+            for plan, result in tradeoff_curve(plans, program_cycles=2000, seed=9)
+        )
+        assert results[99.9] <= results[75.0]

@@ -1,0 +1,49 @@
+"""Tests for clique neighbourhood construction."""
+
+from __future__ import annotations
+
+from repro.clique.cliques import build_cliques
+from repro.types import StabilizerType
+
+
+class TestBuildCliques:
+    def test_one_clique_per_ancilla(self, code, stype):
+        cliques = build_cliques(code, stype)
+        assert len(cliques) == code.num_ancillas_of_type(stype)
+
+    def test_cliques_indexed_in_order(self, code, stype):
+        cliques = build_cliques(code, stype)
+        for index, clique in enumerate(cliques):
+            assert clique.ancilla_index == index
+
+    def test_clique_mirrors_ancilla_structure(self, code, stype):
+        cliques = build_cliques(code, stype)
+        ancillas = code.ancillas(stype)
+        for clique, ancilla in zip(cliques, ancillas):
+            assert clique.ancilla == ancilla.coord
+            assert clique.neighbor_coords == ancilla.clique_neighbors
+            assert clique.shared_qubits == ancilla.shared_qubits
+            assert clique.boundary_qubits == ancilla.boundary_qubits
+
+    def test_neighbor_indices_match_coordinates(self, code, stype):
+        cliques = build_cliques(code, stype)
+        index_of = code.ancilla_index(stype)
+        for clique in cliques:
+            assert clique.neighbor_indices == tuple(
+                index_of[coord] for coord in clique.neighbor_coords
+            )
+
+    def test_bulk_cliques_have_four_leaves_at_d7(self, code_d7, stype):
+        cliques = build_cliques(code_d7, stype)
+        assert any(clique.num_neighbors == 4 for clique in cliques)
+
+    def test_paper_special_cases_exist(self, code_d7, stype):
+        # The paper's 1+1 (corner) and 1+2 (edge) cliques must both occur.
+        cliques = build_cliques(code_d7, stype)
+        neighbor_counts = {clique.num_neighbors for clique in cliques if clique.has_boundary}
+        assert 1 in neighbor_counts
+        assert 2 in neighbor_counts
+
+    def test_has_boundary_matches_boundary_qubits(self, code, stype):
+        for clique in build_cliques(code, stype):
+            assert clique.has_boundary == bool(clique.boundary_qubits)

@@ -1,0 +1,182 @@
+"""Tests for the hierarchical (Clique on-chip + MWPM off-chip) decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clique.hierarchical import HierarchicalDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.types import Coord, DecodeLocation, StabilizerType
+
+
+@pytest.fixture(scope="module")
+def hierarchical_d5():
+    from repro.codes.rotated_surface import get_code
+
+    return HierarchicalDecoder(get_code(5), StabilizerType.X)
+
+
+def _width(code):
+    return code.num_ancillas_of_type(StabilizerType.X)
+
+
+class TestOnChipPath:
+    def test_quiet_history_stays_on_chip(self, hierarchical_d5, code_d5):
+        detections = np.zeros((4, _width(code_d5)), dtype=np.uint8)
+        result = hierarchical_d5.decode_history(detections)
+        assert result.correction == frozenset()
+        assert result.num_offchip_rounds == 0
+        assert all(loc is DecodeLocation.ON_CHIP for loc in result.round_locations)
+        assert result.onchip_fraction == 1.0
+
+    def test_single_data_error_is_handled_on_chip(self, hierarchical_d5, code_d5):
+        error = Coord(4, 4)
+        syndrome = code_d5.syndrome_of({error}, StabilizerType.X)
+        detections = np.zeros((3, _width(code_d5)), dtype=np.uint8)
+        detections[1] = syndrome
+        result = hierarchical_d5.decode_history(detections)
+        assert result.num_offchip_rounds == 0
+        assert result.correction == frozenset({error})
+        assert result.onchip_correction == frozenset({error})
+        assert result.offchip_correction == frozenset()
+
+    def test_transient_measurement_error_is_filtered_on_chip(
+        self, hierarchical_d5, code_d5
+    ):
+        # A measurement error creates a same-ancilla detection pair in
+        # consecutive rounds; the persistence filter absorbs it with no
+        # correction and no off-chip traffic.
+        detections = np.zeros((4, _width(code_d5)), dtype=np.uint8)
+        detections[1, 5] = 1
+        detections[2, 5] = 1
+        result = hierarchical_d5.decode_history(detections)
+        assert result.correction == frozenset()
+        assert result.num_offchip_rounds == 0
+
+
+def _bulk_ancilla_index(code) -> int:
+    """Index of an X ancilla with no boundary qubits (its lone flip is complex)."""
+    return next(
+        a.index for a in code.ancillas(StabilizerType.X) if not a.boundary_qubits
+    )
+
+
+def _complex_round_signature(code) -> np.ndarray:
+    """A persistent lone flip on a bulk ancilla — the Fig. 8(d) off-chip case."""
+    signature = np.zeros(_width(code), dtype=np.uint8)
+    signature[_bulk_ancilla_index(code)] = 1
+    return signature
+
+
+class TestOffChipPath:
+    def test_lone_bulk_flip_goes_off_chip(self, hierarchical_d5, code_d5):
+        detections = np.zeros((3, _width(code_d5)), dtype=np.uint8)
+        detections[0] = _complex_round_signature(code_d5)
+        result = hierarchical_d5.decode_history(detections)
+        assert result.num_offchip_rounds == 1
+        assert result.offchip_rounds == (0,)
+        assert result.round_locations[0] is DecodeLocation.OFF_CHIP
+        # The off-chip decoder must cancel exactly the flipped ancilla.
+        syndrome = code_d5.syndrome_of(result.offchip_correction, StabilizerType.X)
+        assert np.array_equal(syndrome, detections[0])
+
+    def test_mixed_history_splits_rounds(self, hierarchical_d5, code_d5):
+        simple = Coord(4, 4)
+        detections = np.zeros((4, _width(code_d5)), dtype=np.uint8)
+        detections[0] = code_d5.syndrome_of({simple}, StabilizerType.X)
+        detections[2] = _complex_round_signature(code_d5)
+        result = hierarchical_d5.decode_history(detections)
+        assert result.round_locations[0] is DecodeLocation.ON_CHIP
+        assert result.round_locations[2] is DecodeLocation.OFF_CHIP
+        assert simple in result.onchip_correction
+
+    def test_decode_metadata_reports_fractions(self, hierarchical_d5, code_d5):
+        detections = np.zeros((2, _width(code_d5)), dtype=np.uint8)
+        detections[0] = _complex_round_signature(code_d5)
+        outcome = hierarchical_d5.decode(detections)
+        assert outcome.handled
+        assert outcome.metadata["num_rounds"] == 2
+        assert outcome.metadata["num_offchip_rounds"] == 1
+        assert outcome.metadata["onchip_fraction"] == pytest.approx(0.5)
+
+
+class TestConfiguration:
+    def test_custom_fallback_is_used(self, code_d5):
+        calls = []
+
+        class RecordingMWPM(MWPMDecoder):
+            def decode(self, detections):
+                calls.append(detections.copy())
+                return super().decode(detections)
+
+        fallback = RecordingMWPM(code_d5, StabilizerType.X)
+        decoder = HierarchicalDecoder(code_d5, StabilizerType.X, fallback=fallback)
+        detections = np.zeros((2, _width(code_d5)), dtype=np.uint8)
+        detections[0] = _complex_round_signature(code_d5)
+        decoder.decode_history(detections)
+        assert len(calls) == 1
+
+    def test_fallback_not_called_when_everything_is_trivial(self, code_d5):
+        calls = []
+
+        class RecordingMWPM(MWPMDecoder):
+            def decode(self, detections):
+                calls.append(detections.copy())
+                return super().decode(detections)
+
+        decoder = HierarchicalDecoder(
+            code_d5, StabilizerType.X, fallback=RecordingMWPM(code_d5, StabilizerType.X)
+        )
+        detections = np.zeros((3, _width(code_d5)), dtype=np.uint8)
+        detections[0] = code_d5.syndrome_of({Coord(4, 4)}, StabilizerType.X)
+        decoder.decode_history(detections)
+        assert calls == []
+
+    def test_measurement_rounds_parameter_exposed(self, code_d5):
+        decoder = HierarchicalDecoder(code_d5, StabilizerType.X, measurement_rounds=3)
+        assert decoder.measurement_rounds == 3
+
+    def test_clique_and_fallback_accessors(self, hierarchical_d5):
+        assert hierarchical_d5.clique is not None
+        assert isinstance(hierarchical_d5.fallback, MWPMDecoder)
+
+
+class TestAccuracyAgainstBaseline:
+    def test_logical_error_rate_close_to_mwpm(self, code_d3):
+        from repro.noise.models import PhenomenologicalNoise
+        from repro.simulation.memory import run_memory_experiment
+
+        noise = PhenomenologicalNoise(0.02)
+        baseline = run_memory_experiment(
+            code_d3,
+            noise,
+            lambda code, stype: MWPMDecoder(code, stype),
+            trials=600,
+            rng=5,
+        )
+        hierarchical = run_memory_experiment(
+            code_d3,
+            noise,
+            lambda code, stype: HierarchicalDecoder(code, stype),
+            trials=600,
+            rng=5,
+        )
+        # Fig. 14: the hierarchy tracks the baseline closely; allow a modest
+        # statistical + design margin.
+        assert hierarchical.logical_error_rate <= 2.5 * max(
+            baseline.logical_error_rate, 0.01
+        )
+
+    def test_most_rounds_stay_on_chip_at_low_error_rate(self, code_d5):
+        from repro.noise.models import PhenomenologicalNoise
+        from repro.simulation.memory import run_memory_experiment
+
+        result = run_memory_experiment(
+            code_d5,
+            PhenomenologicalNoise(1e-3),
+            lambda code, stype: HierarchicalDecoder(code, stype),
+            trials=200,
+            rng=6,
+        )
+        assert result.onchip_round_fraction > 0.9

@@ -1,0 +1,88 @@
+"""Tests for doubled-coordinate helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes.coordinates import (
+    ancilla_coord,
+    data_coord,
+    data_grid_of,
+    data_neighbors_of_ancilla,
+    diagonal_ancilla_neighbors,
+    manhattan_distance,
+    plaquette_of,
+    shared_data_qubit,
+)
+from repro.types import Coord
+
+
+class TestCoordinateConversions:
+    def test_data_coord_doubles_indices(self):
+        assert data_coord(0, 0) == Coord(0, 0)
+        assert data_coord(2, 3) == Coord(4, 6)
+
+    def test_ancilla_coord_is_odd_odd(self):
+        assert ancilla_coord(0, 0) == Coord(1, 1)
+        assert ancilla_coord(-1, 1) == Coord(-1, 3)
+        assert ancilla_coord(2, 0).is_ancilla
+
+    def test_plaquette_of_inverts_ancilla_coord(self):
+        for row in range(-1, 4):
+            for col in range(-1, 4):
+                assert plaquette_of(ancilla_coord(row, col)) == (row, col)
+
+    def test_data_grid_of_inverts_data_coord(self):
+        for row in range(4):
+            for col in range(4):
+                assert data_grid_of(data_coord(row, col)) == (row, col)
+
+    def test_plaquette_of_rejects_data_coordinate(self):
+        with pytest.raises(ValueError):
+            plaquette_of(Coord(0, 0))
+
+    def test_data_grid_of_rejects_ancilla_coordinate(self):
+        with pytest.raises(ValueError):
+            data_grid_of(Coord(1, 1))
+
+
+class TestNeighborhoods:
+    def test_ancilla_has_four_candidate_data_neighbors(self):
+        neighbors = list(data_neighbors_of_ancilla(Coord(3, 3)))
+        assert len(neighbors) == 4
+        assert set(neighbors) == {Coord(2, 2), Coord(2, 4), Coord(4, 2), Coord(4, 4)}
+
+    def test_data_neighbors_requires_ancilla(self):
+        with pytest.raises(ValueError):
+            list(data_neighbors_of_ancilla(Coord(2, 2)))
+
+    def test_diagonal_ancilla_neighbors_are_distance_two(self):
+        neighbors = list(diagonal_ancilla_neighbors(Coord(3, 3)))
+        assert len(neighbors) == 4
+        assert all(abs(n.row - 3) == 2 and abs(n.col - 3) == 2 for n in neighbors)
+
+    def test_diagonal_ancilla_neighbors_requires_ancilla(self):
+        with pytest.raises(ValueError):
+            list(diagonal_ancilla_neighbors(Coord(0, 0)))
+
+    def test_shared_data_qubit_is_midpoint(self):
+        assert shared_data_qubit(Coord(1, 1), Coord(3, 3)) == Coord(2, 2)
+        assert shared_data_qubit(Coord(3, 1), Coord(1, 3)) == Coord(2, 2)
+
+    def test_shared_data_qubit_rejects_non_diagonal(self):
+        with pytest.raises(ValueError):
+            shared_data_qubit(Coord(1, 1), Coord(1, 5))
+
+
+class TestManhattanDistance:
+    def test_zero_for_same_coordinate(self):
+        assert manhattan_distance(Coord(2, 2), Coord(2, 2)) == 0
+
+    def test_symmetric(self):
+        assert manhattan_distance(Coord(0, 0), Coord(4, 6)) == manhattan_distance(
+            Coord(4, 6), Coord(0, 0)
+        )
+
+    def test_triangle_inequality_on_sample(self):
+        a, b, c = Coord(0, 0), Coord(2, 4), Coord(6, 6)
+        assert manhattan_distance(a, c) <= manhattan_distance(a, b) + manhattan_distance(b, c)

@@ -1,0 +1,93 @@
+"""Tests for the code-distance sizing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes.distance import (
+    PAPER_OPERATING_POINTS,
+    LogicalRateModel,
+    calibrated_model,
+    logical_error_rate_estimate,
+    required_code_distance,
+)
+from repro.exceptions import ConfigurationError, InvalidProbabilityError
+
+
+class TestLogicalRateModel:
+    def test_rejects_nonpositive_prefactor(self):
+        with pytest.raises(ConfigurationError):
+            LogicalRateModel(prefactor=0.0, threshold=0.01)
+
+    def test_rejects_threshold_outside_unit_interval(self):
+        with pytest.raises(InvalidProbabilityError):
+            LogicalRateModel(prefactor=0.1, threshold=1.5)
+
+    def test_logical_rate_decreases_with_distance(self):
+        model = LogicalRateModel(prefactor=0.1, threshold=0.01)
+        rates = [model.logical_error_rate(1e-3, d) for d in (3, 5, 7, 9)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_logical_rate_increases_with_physical_rate(self):
+        model = LogicalRateModel(prefactor=0.1, threshold=0.01)
+        assert model.logical_error_rate(5e-3, 7) > model.logical_error_rate(1e-3, 7)
+
+    def test_known_value(self):
+        model = LogicalRateModel(prefactor=0.1, threshold=0.01)
+        # (p / p_th) = 0.1, (d + 1) / 2 = 4  ->  0.1 * 0.1**4 = 1e-5
+        assert model.logical_error_rate(1e-3, 7) == pytest.approx(1e-5)
+
+    def test_logical_rate_rejects_even_distance(self):
+        model = LogicalRateModel(prefactor=0.1, threshold=0.01)
+        with pytest.raises(ConfigurationError):
+            model.logical_error_rate(1e-3, 4)
+
+    def test_required_distance_rejects_above_threshold(self):
+        model = LogicalRateModel(prefactor=0.1, threshold=0.01)
+        with pytest.raises(ConfigurationError):
+            model.required_distance(0.02, 1e-6)
+
+    def test_required_distance_is_odd_and_sufficient(self):
+        model = LogicalRateModel(prefactor=0.1, threshold=0.01)
+        distance = model.required_distance(1e-3, 1e-9)
+        assert distance % 2 == 1
+        assert model.logical_error_rate(1e-3, distance) <= 1e-9
+        if distance > 3:
+            assert model.logical_error_rate(1e-3, distance - 2) > 1e-9
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            LogicalRateModel.fit(PAPER_OPERATING_POINTS[:1])
+
+
+class TestCalibration:
+    def test_threshold_is_physically_plausible(self):
+        model = calibrated_model()
+        # Surface-code phenomenological thresholds sit near 1 percent.
+        assert 0.005 < model.threshold < 0.02
+
+    @pytest.mark.parametrize("point", PAPER_OPERATING_POINTS)
+    def test_reproduces_paper_distances_within_one_step(self, point):
+        distance = required_code_distance(
+            point.physical_error_rate, point.logical_error_rate
+        )
+        assert abs(distance - point.code_distance) <= 2
+
+    def test_exact_match_on_majority_of_points(self):
+        exact = sum(
+            1
+            for point in PAPER_OPERATING_POINTS
+            if required_code_distance(point.physical_error_rate, point.logical_error_rate)
+            == point.code_distance
+        )
+        assert exact >= len(PAPER_OPERATING_POINTS) // 2
+
+    def test_estimate_matches_model(self):
+        model = calibrated_model()
+        assert logical_error_rate_estimate(1e-3, 7) == pytest.approx(
+            model.logical_error_rate(1e-3, 7)
+        )
+
+    def test_operating_point_label_mentions_distance(self):
+        point = PAPER_OPERATING_POINTS[0]
+        assert f"d={point.code_distance}" in point.label()

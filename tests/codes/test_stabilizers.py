@@ -1,0 +1,72 @@
+"""Tests for the stabilizer dataclass and parity-check construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.stabilizers import Stabilizer, parity_check_matrix
+from repro.types import Coord, StabilizerType
+
+
+def _sample_stabilizer() -> Stabilizer:
+    return Stabilizer(
+        ancilla=Coord(1, 1),
+        type=StabilizerType.X,
+        data_qubits=(Coord(0, 0), Coord(0, 2), Coord(2, 0), Coord(2, 2)),
+    )
+
+
+class TestStabilizer:
+    def test_weight_counts_support(self):
+        assert _sample_stabilizer().weight == 4
+
+    def test_syndrome_bit_even_overlap(self):
+        stabilizer = _sample_stabilizer()
+        assert stabilizer.syndrome_bit({Coord(0, 0), Coord(2, 2)}) == 0
+
+    def test_syndrome_bit_odd_overlap(self):
+        stabilizer = _sample_stabilizer()
+        assert stabilizer.syndrome_bit({Coord(0, 0)}) == 1
+        assert stabilizer.syndrome_bit({Coord(0, 0), Coord(2, 0), Coord(2, 2)}) == 1
+
+    def test_syndrome_bit_ignores_foreign_qubits(self):
+        stabilizer = _sample_stabilizer()
+        assert stabilizer.syndrome_bit({Coord(10, 10)}) == 0
+
+    def test_stabilizers_are_hashable_and_frozen(self):
+        a = _sample_stabilizer()
+        b = _sample_stabilizer()
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestParityCheckMatrix:
+    def test_matrix_entries_follow_support(self):
+        stabilizer = _sample_stabilizer()
+        data_index = {
+            Coord(0, 0): 0,
+            Coord(0, 2): 1,
+            Coord(2, 0): 2,
+            Coord(2, 2): 3,
+            Coord(4, 4): 4,
+        }
+        matrix = parity_check_matrix([stabilizer], data_index)
+        assert matrix.shape == (1, 5)
+        assert matrix.dtype == np.uint8
+        assert matrix.tolist() == [[1, 1, 1, 1, 0]]
+
+    def test_multiple_rows_in_order(self):
+        first = _sample_stabilizer()
+        second = Stabilizer(
+            ancilla=Coord(3, 3),
+            type=StabilizerType.X,
+            data_qubits=(Coord(2, 2), Coord(4, 4)),
+        )
+        data_index = {Coord(0, 0): 0, Coord(0, 2): 1, Coord(2, 0): 2, Coord(2, 2): 3, Coord(4, 4): 4}
+        matrix = parity_check_matrix([first, second], data_index)
+        assert matrix[1].tolist() == [0, 0, 0, 1, 1]
+
+    def test_empty_support_gives_zero_row(self):
+        stabilizer = Stabilizer(ancilla=Coord(1, 1), type=StabilizerType.Z)
+        matrix = parity_check_matrix([stabilizer], {Coord(0, 0): 0})
+        assert matrix.sum() == 0

@@ -1,0 +1,91 @@
+"""Tests for the logical-circuit model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.circuits import GateType, LogicalCircuit, LogicalGate
+from repro.exceptions import ConfigurationError
+
+
+class TestLogicalGate:
+    def test_single_qubit_gate(self):
+        gate = LogicalGate(GateType.H, (0,))
+        assert gate.targets == (0,)
+
+    def test_cnot_requires_two_targets(self):
+        with pytest.raises(ConfigurationError):
+            LogicalGate(GateType.CNOT, (0,))
+
+    def test_single_qubit_gate_rejects_two_targets(self):
+        with pytest.raises(ConfigurationError):
+            LogicalGate(GateType.T, (0, 1))
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogicalGate(GateType.CNOT, (1, 1))
+
+    def test_decode_barriers(self):
+        assert GateType.T.is_decode_barrier
+        assert GateType.MEASURE.is_decode_barrier
+        assert not GateType.H.is_decode_barrier
+        assert not GateType.CNOT.is_decode_barrier
+
+
+class TestLogicalCircuit:
+    def test_rejects_nonpositive_qubits(self):
+        with pytest.raises(ConfigurationError):
+            LogicalCircuit(num_qubits=0)
+
+    def test_add_layer_and_depth(self):
+        circuit = LogicalCircuit(num_qubits=3)
+        circuit.add_layer([LogicalGate(GateType.H, (0,)), LogicalGate(GateType.T, (2,))])
+        circuit.add_layer([LogicalGate(GateType.CNOT, (0, 1))])
+        assert circuit.depth == 2
+
+    def test_add_layer_rejects_out_of_range_targets(self):
+        circuit = LogicalCircuit(num_qubits=2)
+        with pytest.raises(ConfigurationError):
+            circuit.add_layer([LogicalGate(GateType.H, (5,))])
+
+    def test_add_layer_rejects_qubit_collisions(self):
+        circuit = LogicalCircuit(num_qubits=3)
+        with pytest.raises(ConfigurationError):
+            circuit.add_layer(
+                [LogicalGate(GateType.H, (0,)), LogicalGate(GateType.CNOT, (0, 1))]
+            )
+
+    def test_t_layer_indices(self):
+        circuit = LogicalCircuit(num_qubits=2)
+        circuit.add_layer([LogicalGate(GateType.H, (0,))])
+        circuit.add_layer([LogicalGate(GateType.T, (1,))])
+        circuit.add_layer([LogicalGate(GateType.S, (0,))])
+        assert circuit.t_layer_indices == (1,)
+
+    def test_count_gates(self):
+        circuit = LogicalCircuit(num_qubits=2)
+        circuit.add_layer([LogicalGate(GateType.T, (0,)), LogicalGate(GateType.T, (1,))])
+        assert circuit.count_gates(GateType.T) == 2
+        assert circuit.count_gates(GateType.H) == 0
+
+
+class TestRandomCircuit:
+    def test_shape_and_reproducibility(self):
+        a = LogicalCircuit.random_clifford_t(8, depth=20, t_fraction=0.2, seed=3)
+        b = LogicalCircuit.random_clifford_t(8, depth=20, t_fraction=0.2, seed=3)
+        assert a.depth == b.depth == 20
+        assert a.layers == b.layers
+
+    def test_every_layer_uses_each_qubit_at_most_once(self):
+        circuit = LogicalCircuit.random_clifford_t(10, depth=30, seed=1)
+        for layer in circuit.layers:
+            targets = [target for gate in layer for target in gate.targets]
+            assert len(targets) == len(set(targets))
+
+    def test_t_fraction_zero_has_no_t_gates(self):
+        circuit = LogicalCircuit.random_clifford_t(6, depth=15, t_fraction=0.0, seed=2)
+        assert circuit.count_gates(GateType.T) == 0
+
+    def test_invalid_t_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogicalCircuit.random_clifford_t(4, depth=5, t_fraction=1.5)

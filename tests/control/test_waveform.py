@@ -1,0 +1,76 @@
+"""Tests for the waveform generator and stall controller (Fig. 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bandwidth.allocation import BandwidthPlan, provision_for_percentile
+from repro.control.circuits import GateType, LogicalCircuit
+from repro.control.waveform import StallController, WaveformGenerator
+from repro.exceptions import ConfigurationError
+
+
+def _circuit(depth: int = 20, num_qubits: int = 8, t_fraction: float = 0.1) -> LogicalCircuit:
+    return LogicalCircuit.random_clifford_t(num_qubits, depth, t_fraction, seed=11)
+
+
+class TestStallController:
+    def test_no_demand_never_stalls(self):
+        controller = StallController(BandwidthPlan(100, 0.0, 99.0, 1), seed=0)
+        assert not any(controller.advance_cycle() for _ in range(100))
+        assert controller.drained
+
+    def test_overloaded_link_builds_backlog(self):
+        controller = StallController(BandwidthPlan(1000, 0.5, 50.0, 10), seed=0)
+        stalls = sum(controller.advance_cycle() for _ in range(50))
+        assert stalls > 40
+        assert controller.backlog > 0
+
+
+class TestWaveformGenerator:
+    def test_idle_layer_covers_every_qubit_with_identities(self):
+        generator = WaveformGenerator(_circuit(num_qubits=5))
+        layer = generator.idle_layer()
+        assert len(layer) == 5
+        assert all(gate.gate is GateType.I for gate in layer)
+
+    def test_execution_without_stalls_matches_depth(self):
+        circuit = _circuit(depth=25)
+        generator = WaveformGenerator(circuit)
+        controller = StallController(BandwidthPlan(100, 0.0, 99.0, 1), seed=0)
+        trace = generator.execute(controller)
+        assert trace.program_cycles == circuit.depth
+        assert trace.stall_cycles == 0
+        assert trace.execution_time_increase == 0.0
+
+    def test_all_program_layers_execute_in_order(self):
+        circuit = _circuit(depth=15)
+        generator = WaveformGenerator(circuit)
+        controller = StallController(provision_for_percentile(200, 0.02, 99.0), seed=1)
+        trace = generator.execute(controller)
+        executed = [cycle.layer_index for cycle in trace.cycles if not cycle.is_stall]
+        assert executed == list(range(circuit.depth))
+
+    def test_moderate_load_inserts_some_stalls(self):
+        circuit = _circuit(depth=200, t_fraction=0.0)
+        generator = WaveformGenerator(circuit)
+        controller = StallController(provision_for_percentile(1000, 0.05, 90.0), seed=2)
+        trace = generator.execute(controller, max_cycles=50_000)
+        assert trace.program_cycles == circuit.depth
+        assert trace.stall_cycles > 0
+
+    def test_unstable_provisioning_raises(self):
+        circuit = _circuit(depth=50, t_fraction=0.0)
+        generator = WaveformGenerator(circuit)
+        # Capacity far below the mean demand: execution can never finish.
+        controller = StallController(BandwidthPlan(1000, 0.5, 50.0, 5), seed=3)
+        with pytest.raises(ConfigurationError):
+            generator.execute(controller, max_cycles=2000)
+
+    def test_trace_accounting_is_consistent(self):
+        circuit = _circuit(depth=30)
+        generator = WaveformGenerator(circuit)
+        controller = StallController(provision_for_percentile(500, 0.05, 95.0), seed=4)
+        trace = generator.execute(controller, max_cycles=10_000)
+        assert trace.total_cycles == trace.program_cycles + trace.stall_cycles
+        assert trace.total_cycles == len(trace.cycles)

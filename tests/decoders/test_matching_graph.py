@@ -1,0 +1,113 @@
+"""Tests for the space-time matching graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent, get_matching_graph
+from repro.types import StabilizerType
+
+
+@pytest.fixture(scope="module")
+def graph_d5() -> MatchingGraph:
+    return get_matching_graph(5, StabilizerType.X)
+
+
+class TestSpatialDistances:
+    def test_distance_to_self_is_zero(self, graph_d5):
+        for index in range(graph_d5.num_ancillas):
+            assert graph_d5.spatial_distance(index, index) == 0
+
+    def test_distances_are_symmetric(self, graph_d5):
+        for a in range(graph_d5.num_ancillas):
+            for b in range(graph_d5.num_ancillas):
+                assert graph_d5.spatial_distance(a, b) == graph_d5.spatial_distance(b, a)
+
+    def test_all_pairs_reachable(self, graph_d5):
+        for a in range(graph_d5.num_ancillas):
+            for b in range(graph_d5.num_ancillas):
+                assert graph_d5.spatial_distance(a, b) >= 0
+
+    def test_clique_neighbors_are_at_distance_one(self, code_d5):
+        graph = MatchingGraph(code_d5, StabilizerType.X)
+        index_of = code_d5.ancilla_index(StabilizerType.X)
+        for ancilla in code_d5.ancillas(StabilizerType.X):
+            for neighbor in ancilla.clique_neighbors:
+                assert graph.spatial_distance(ancilla.index, index_of[neighbor]) == 1
+
+    def test_triangle_inequality(self, graph_d5):
+        n = graph_d5.num_ancillas
+        for a in range(n):
+            for b in range(n):
+                for c in range(0, n, 3):
+                    assert graph_d5.spatial_distance(a, b) <= (
+                        graph_d5.spatial_distance(a, c) + graph_d5.spatial_distance(c, b)
+                    )
+
+
+class TestPathsProduceCorrectSyndromes:
+    def test_pairwise_path_flips_exactly_the_endpoints(self, code_d5):
+        graph = MatchingGraph(code_d5, StabilizerType.X)
+        ancillas = code_d5.ancillas(StabilizerType.X)
+        for a in range(len(ancillas)):
+            for b in range(a + 1, len(ancillas)):
+                path = graph.spatial_path(a, b)
+                assert len(path) == graph.spatial_distance(a, b)
+                syndrome = code_d5.syndrome_of(path, StabilizerType.X)
+                flipped = {i for i in range(len(ancillas)) if syndrome[i]}
+                assert flipped == {a, b}
+
+    def test_boundary_path_flips_only_the_source(self, code_d5):
+        graph = MatchingGraph(code_d5, StabilizerType.X)
+        ancillas = code_d5.ancillas(StabilizerType.X)
+        for a in range(len(ancillas)):
+            path = graph.boundary_path(a)
+            assert len(path) == graph.boundary_distance(a)
+            syndrome = code_d5.syndrome_of(path, StabilizerType.X)
+            flipped = {i for i in range(len(ancillas)) if syndrome[i]}
+            assert flipped == {a}
+
+    def test_boundary_distance_is_one_for_boundary_ancillas(self, code_d5, stype):
+        graph = MatchingGraph(code_d5, stype)
+        for ancilla in code_d5.ancillas(stype):
+            if ancilla.boundary_qubits:
+                assert graph.boundary_distance(ancilla.index) == 1
+
+    def test_boundary_distance_bounded_by_half_lattice(self, code_d7):
+        graph = MatchingGraph(code_d7, StabilizerType.X)
+        for index in range(graph.num_ancillas):
+            assert 1 <= graph.boundary_distance(index) <= code_d7.distance
+
+
+class TestSpaceTimeMetric:
+    def test_event_distance_adds_time_separation(self, graph_d5):
+        near = SpaceTimeEvent(round=0, ancilla_index=0)
+        far = SpaceTimeEvent(round=3, ancilla_index=0)
+        assert graph_d5.event_distance(near, far) == 3
+
+    def test_event_distance_combines_space_and_time(self, graph_d5):
+        a = SpaceTimeEvent(round=1, ancilla_index=0)
+        b = SpaceTimeEvent(round=4, ancilla_index=5)
+        expected = graph_d5.spatial_distance(0, 5) + 3
+        assert graph_d5.event_distance(a, b) == expected
+
+    def test_boundary_distance_is_purely_spatial(self, graph_d5):
+        event = SpaceTimeEvent(round=7, ancilla_index=2)
+        assert graph_d5.event_boundary_distance(event) == graph_d5.boundary_distance(2)
+
+    def test_correction_between_same_ancilla_events_is_empty(self, graph_d5):
+        a = SpaceTimeEvent(round=0, ancilla_index=3)
+        b = SpaceTimeEvent(round=2, ancilla_index=3)
+        assert graph_d5.correction_between(a, b) == frozenset()
+
+
+class TestCaching:
+    def test_get_matching_graph_caches(self):
+        assert get_matching_graph(3, StabilizerType.X) is get_matching_graph(
+            3, StabilizerType.X
+        )
+
+    def test_types_have_separate_graphs(self):
+        assert get_matching_graph(3, StabilizerType.X) is not get_matching_graph(
+            3, StabilizerType.Z
+        )

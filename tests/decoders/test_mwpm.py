@@ -1,0 +1,150 @@
+"""Tests for the MWPM baseline decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decoders.lookup import LookupDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.exceptions import SyndromeShapeError
+from repro.noise.events import errors_to_vector, vector_to_errors
+from repro.types import Coord, StabilizerType
+
+
+@pytest.fixture(scope="module")
+def mwpm_d5():
+    from repro.codes.rotated_surface import get_code
+
+    return MWPMDecoder(get_code(5), StabilizerType.X)
+
+
+class TestSingleRoundDecoding:
+    def test_empty_syndrome_gives_empty_correction(self, mwpm_d5, code_d5):
+        result = mwpm_d5.decode(np.zeros(code_d5.num_ancillas_of_type(StabilizerType.X)))
+        assert result.correction == frozenset()
+        assert result.handled
+
+    def test_rejects_wrong_width(self, mwpm_d5):
+        with pytest.raises(SyndromeShapeError):
+            mwpm_d5.decode(np.zeros(3, dtype=np.uint8))
+
+    @pytest.mark.parametrize("qubit_index", range(0, 25, 3))
+    def test_single_error_correction_cancels_syndrome(self, mwpm_d5, code_d5, qubit_index):
+        error = {code_d5.data_qubits[qubit_index]}
+        syndrome = code_d5.syndrome_of(error, StabilizerType.X)
+        result = mwpm_d5.decode(syndrome)
+        residual = frozenset(error) ^ result.correction
+        assert not code_d5.syndrome_of(residual, StabilizerType.X).any()
+        assert not code_d5.is_logical_error(residual, StabilizerType.X)
+
+    def test_correction_has_zero_residual_for_random_errors(self, mwpm_d5, code_d5, rng):
+        for _ in range(25):
+            error = {q for q in code_d5.data_qubits if rng.random() < 0.08}
+            syndrome = code_d5.syndrome_of(error, StabilizerType.X)
+            result = mwpm_d5.decode(syndrome)
+            residual = frozenset(error) ^ result.correction
+            assert not code_d5.syndrome_of(residual, StabilizerType.X).any()
+
+    def test_matches_lookup_decoder_weight_on_small_code(self, code_d3):
+        # MWPM must find a minimum-weight explanation for every weight-1 and
+        # weight-2 error pattern on the d=3 code (code capacity).
+        lookup = LookupDecoder(code_d3, StabilizerType.X)
+        mwpm = MWPMDecoder(code_d3, StabilizerType.X)
+        qubits = code_d3.data_qubits
+        for i in range(len(qubits)):
+            error = {qubits[i]}
+            syndrome = code_d3.syndrome_of(error, StabilizerType.X)
+            optimal = lookup.decode(syndrome).correction
+            matched = mwpm.decode(syndrome).correction
+            assert len(matched) == len(optimal)
+
+    def test_metadata_reports_event_counts(self, mwpm_d5, code_d5):
+        error = {code_d5.data_qubits[6], code_d5.data_qubits[18]}
+        syndrome = code_d5.syndrome_of(error, StabilizerType.X)
+        result = mwpm_d5.decode(syndrome)
+        assert result.metadata["num_events"] == int(syndrome.sum())
+
+
+class TestSpaceTimeDecoding:
+    def test_measurement_error_pair_needs_no_data_correction(self, mwpm_d5, code_d5):
+        width = code_d5.num_ancillas_of_type(StabilizerType.X)
+        detections = np.zeros((3, width), dtype=np.uint8)
+        detections[0, 4] = 1
+        detections[1, 4] = 1
+        result = mwpm_d5.decode(detections)
+        assert result.correction == frozenset()
+
+    def test_data_error_in_one_round_is_corrected(self, mwpm_d5, code_d5):
+        error = {Coord(4, 4)}
+        syndrome = code_d5.syndrome_of(error, StabilizerType.X)
+        width = code_d5.num_ancillas_of_type(StabilizerType.X)
+        detections = np.zeros((3, width), dtype=np.uint8)
+        detections[1] = syndrome
+        result = mwpm_d5.decode(detections)
+        residual = frozenset(error) ^ result.correction
+        assert not code_d5.syndrome_of(residual, StabilizerType.X).any()
+        assert not code_d5.is_logical_error(residual, StabilizerType.X)
+
+    def test_full_memory_history_has_zero_residual_syndrome(self, code_d5, rng):
+        from repro.noise.models import PhenomenologicalNoise
+        from repro.syndrome.history import SyndromeHistory
+
+        noise = PhenomenologicalNoise(0.03)
+        decoder = MWPMDecoder(code_d5, StabilizerType.X)
+        parity = code_d5.parity_check(StabilizerType.X)
+        for _ in range(10):
+            history = SyndromeHistory(code_d5.num_ancillas_of_type(StabilizerType.X))
+            accumulated = np.zeros(code_d5.num_data_qubits, dtype=np.uint8)
+            for _round in range(5):
+                accumulated ^= noise.sample_data_vector(code_d5, rng)
+                flips = noise.sample_measurement_vector(code_d5, StabilizerType.X, rng)
+                history.record(((parity @ accumulated) % 2) ^ flips)
+            history.record((parity @ accumulated) % 2)
+            result = decoder.decode(history.detection_matrix())
+            correction = errors_to_vector(result.correction, code_d5.data_index)
+            residual = accumulated ^ correction
+            residual_set = vector_to_errors(residual, code_d5.data_qubits)
+            assert not code_d5.syndrome_of(residual_set, StabilizerType.X).any()
+
+
+class TestLogicalPerformance:
+    def test_higher_distance_suppresses_code_capacity_errors(self):
+        # Under code-capacity noise (perfect measurements, single round) the
+        # MWPM threshold is around 10%, so at p = 5% a d=5 code must clearly
+        # outperform a d=3 code.
+        from repro.codes.rotated_surface import get_code
+        from repro.noise.models import CodeCapacityNoise
+        from repro.simulation.memory import run_memory_experiment
+
+        noise = CodeCapacityNoise(0.03)
+        results = {}
+        for distance in (3, 5):
+            results[distance] = run_memory_experiment(
+                get_code(distance),
+                noise,
+                lambda code, stype: MWPMDecoder(code, stype),
+                trials=1500,
+                rounds=1,
+                rng=99,
+            ).logical_error_rate
+        assert results[5] < results[3]
+
+    def test_logical_error_rate_increases_with_physical_rate(self):
+        from repro.codes.rotated_surface import get_code
+        from repro.noise.models import PhenomenologicalNoise
+        from repro.simulation.memory import run_memory_experiment
+
+        code = get_code(3)
+        rates = []
+        for p in (0.005, 0.03):
+            rates.append(
+                run_memory_experiment(
+                    code,
+                    PhenomenologicalNoise(p),
+                    lambda c, s: MWPMDecoder(c, s),
+                    trials=400,
+                    rng=7,
+                ).logical_error_rate
+            )
+        assert rates[0] < rates[1]

@@ -1,0 +1,53 @@
+"""Tests for the experiment result container and table formatting."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+
+
+def _sample() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="figXX",
+        title="Sample experiment",
+        rows=[
+            {"distance": 3, "coverage": 0.999, "big": 12345.678, "tiny": 1.2e-7},
+            {"distance": 21, "coverage": 0.7, "big": 2.0, "tiny": 0.5},
+        ],
+        notes="A note.",
+    )
+
+
+class TestExperimentResult:
+    def test_columns_come_from_first_row(self):
+        assert _sample().columns == ("distance", "coverage", "big", "tiny")
+
+    def test_column_extraction(self):
+        assert _sample().column("distance") == [3, 21]
+
+    def test_empty_result_formats_gracefully(self):
+        empty = ExperimentResult(experiment_id="e", title="Empty")
+        assert "(no rows)" in empty.format_table()
+
+    def test_format_table_contains_header_and_values(self):
+        table = _sample().format_table()
+        assert "figXX" in table
+        assert "distance" in table
+        assert "21" in table
+
+    def test_format_table_includes_notes(self):
+        assert "A note." in _sample().format_table()
+
+    def test_large_and_small_floats_use_scientific_notation(self):
+        table = _sample().format_table()
+        assert "1.235e+04" in table or "1.234e+04" in table
+        assert "1.200e-07" in table
+
+    def test_booleans_render_as_words(self):
+        result = ExperimentResult("e", "t", rows=[{"ok": True}])
+        assert "True" in result.format_table()
+
+    def test_rows_align_in_columns(self):
+        lines = _sample().format_table().splitlines()
+        header = next(line for line in lines if line.startswith("distance"))
+        divider = lines[lines.index(header) + 1]
+        assert len(divider) == len(header)

@@ -1,0 +1,57 @@
+"""Tests for the ERSFQ cell library (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.hardware.cells import CellLibrary, CellSpec, ERSFQ_LIBRARY, ERSFQ_LIBRARY_CELLS
+
+
+class TestTable1Values:
+    """The library must reproduce Table 1 of the paper verbatim."""
+
+    EXPECTED = {
+        "XOR2": (6.2, 7000.0, 18),
+        "AND2": (8.2, 7000.0, 16),
+        "OR2": (5.4, 7000.0, 14),
+        "NOT": (12.8, 7000.0, 12),
+        "DFF": (8.6, 5600.0, 10),
+        "SPLIT": (7.0, 3500.0, 4),
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_cell_matches_paper(self, name):
+        delay, area, jj = self.EXPECTED[name]
+        cell = ERSFQ_LIBRARY[name]
+        assert cell.delay_ps == delay
+        assert cell.area_um2 == area
+        assert cell.jj_count == jj
+
+    def test_exactly_six_cells(self):
+        assert len(ERSFQ_LIBRARY_CELLS) == 6
+        assert set(ERSFQ_LIBRARY.cell_names) == set(self.EXPECTED)
+
+
+class TestCellLibrary:
+    def test_contains(self):
+        assert "XOR2" in ERSFQ_LIBRARY
+        assert "NAND3" not in ERSFQ_LIBRARY
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(SynthesisError):
+            ERSFQ_LIBRARY["NAND3"]
+
+    def test_accessors(self):
+        assert ERSFQ_LIBRARY.delay_ps("NOT") == 12.8
+        assert ERSFQ_LIBRARY.area_um2("DFF") == 5600.0
+        assert ERSFQ_LIBRARY.jj_count("SPLIT") == 4
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(SynthesisError):
+            CellLibrary([])
+
+    def test_duplicate_names_rejected(self):
+        cell = CellSpec("X", 1.0, 1.0, 1)
+        with pytest.raises(SynthesisError):
+            CellLibrary([cell, cell])

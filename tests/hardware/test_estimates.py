@@ -1,0 +1,104 @@
+"""Tests for the power/area/latency estimation (Fig. 15 claims)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.estimates import (
+    DecoderOverheads,
+    FRIDGE_COOLING_BUDGET_W,
+    clique_overheads,
+    compare_with_nisqplus,
+    estimate_overheads,
+)
+from repro.hardware.synthesis import synthesize_clique_decoder
+
+
+class TestCliqueOverheads:
+    def test_power_range_matches_paper(self):
+        # Fig. 15: roughly 10 uW at d=3 up to ~500 uW at d=21.
+        assert 3 <= clique_overheads(3).power_uw <= 30
+        assert 150 <= clique_overheads(21).power_uw <= 1000
+
+    def test_area_under_100mm2_at_d21(self):
+        assert clique_overheads(21).area_mm2 < 100.0
+
+    def test_latency_in_paper_range(self):
+        for distance in (3, 9, 21):
+            latency = clique_overheads(distance).latency_ns
+            assert 0.03 <= latency <= 0.4
+
+    def test_overheads_monotonic_in_distance(self):
+        distances = (3, 5, 7, 9, 11, 15, 21)
+        powers = [clique_overheads(d).power_uw for d in distances]
+        areas = [clique_overheads(d).area_mm2 for d in distances]
+        assert powers == sorted(powers)
+        assert areas == sorted(areas)
+
+    def test_fridge_budget_supports_thousands_of_logical_qubits(self):
+        # Section 7.4: ~2000 logical qubits at d=21, ~100000 at d=3.
+        assert clique_overheads(21).supported_logical_qubits >= 1000
+        assert clique_overheads(3).supported_logical_qubits >= 50_000
+
+    def test_supported_qubits_consistent_with_budget(self):
+        overheads = clique_overheads(9)
+        assert (
+            overheads.supported_logical_qubits
+            == int(FRIDGE_COOLING_BUDGET_W // overheads.power_w)
+        )
+
+    def test_cached_results_are_stable(self):
+        assert clique_overheads(7) is clique_overheads(7)
+
+
+class TestEstimateOverheads:
+    def test_jj_and_cells_match_netlist(self):
+        netlist = synthesize_clique_decoder(5)
+        overheads = estimate_overheads(netlist, 5)
+        assert overheads.jj_count == netlist.total_jj()
+        assert overheads.cell_count == netlist.total_cells
+        assert overheads.area_mm2 == pytest.approx(netlist.total_area_mm2())
+
+    def test_power_scales_with_power_per_jj(self):
+        netlist = synthesize_clique_decoder(5)
+        base = estimate_overheads(netlist, 5, power_per_jj_w=1e-9)
+        double = estimate_overheads(netlist, 5, power_per_jj_w=2e-9)
+        assert double.power_w == pytest.approx(2 * base.power_w)
+
+    def test_dataclass_exposes_microwatts(self):
+        overheads = DecoderOverheads(
+            distance=3,
+            measurement_rounds=2,
+            power_w=1e-5,
+            area_mm2=1.0,
+            latency_ns=0.1,
+            jj_count=100,
+            cell_count=10,
+        )
+        assert overheads.power_uw == pytest.approx(10.0)
+
+
+class TestNisqPlusComparison:
+    def test_anchor_ratios_match_paper_at_d9(self):
+        comparison = compare_with_nisqplus(9)
+        assert comparison["power_improvement"] == pytest.approx(37.0)
+        assert comparison["area_improvement"] == pytest.approx(25.0)
+        assert comparison["latency_improvement"] == pytest.approx(15.0)
+
+    def test_improvements_within_paper_band_at_other_distances(self):
+        # Section 1 claims a 15-37x resource overhead reduction overall.
+        for distance in (5, 7, 9, 11, 13):
+            comparison = compare_with_nisqplus(distance)
+            assert comparison["power_improvement"] > 10
+            assert comparison["area_improvement"] > 8
+
+    def test_worst_case_latency_is_six_times_average(self):
+        comparison = compare_with_nisqplus(9)
+        assert comparison["nisqplus_worst_case_latency_ns"] == pytest.approx(
+            6 * comparison["nisqplus_latency_ns"]
+        )
+
+    def test_comparison_reports_absolute_numbers(self):
+        comparison = compare_with_nisqplus(9)
+        assert comparison["clique_power_uw"] > 0
+        assert comparison["nisqplus_power_uw"] > comparison["clique_power_uw"]

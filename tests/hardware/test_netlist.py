@@ -1,0 +1,79 @@
+"""Tests for the netlist abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.hardware.cells import ERSFQ_LIBRARY
+from repro.hardware.netlist import Netlist
+
+
+class TestCellAccounting:
+    def test_add_and_count(self):
+        netlist = Netlist()
+        netlist.add_cells("XOR2", 3)
+        netlist.add_cells("XOR2", 2)
+        netlist.add_cells("AND2")
+        assert netlist.count("XOR2") == 5
+        assert netlist.count("AND2") == 1
+        assert netlist.total_cells == 6
+
+    def test_adding_zero_is_noop(self):
+        netlist = Netlist()
+        netlist.add_cells("NOT", 0)
+        assert netlist.total_cells == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SynthesisError):
+            Netlist().add_cells("NOT", -1)
+
+    def test_totals_use_library(self):
+        netlist = Netlist()
+        netlist.add_cells("XOR2", 2)
+        netlist.add_cells("SPLIT", 1)
+        assert netlist.total_jj(ERSFQ_LIBRARY) == 2 * 18 + 4
+        assert netlist.total_area_um2(ERSFQ_LIBRARY) == 2 * 7000 + 3500
+        assert netlist.total_area_mm2(ERSFQ_LIBRARY) == pytest.approx(0.0175)
+
+    def test_summary_is_sorted_plain_dict(self):
+        netlist = Netlist()
+        netlist.add_cells("XOR2", 1)
+        netlist.add_cells("AND2", 2)
+        assert list(netlist.summary()) == ["AND2", "XOR2"]
+
+
+class TestCriticalPath:
+    def test_delay_sums_cell_delays(self):
+        netlist = Netlist(critical_path=("XOR2", "NOT", "AND2"))
+        assert netlist.critical_path_delay_ps(ERSFQ_LIBRARY) == pytest.approx(
+            6.2 + 12.8 + 8.2
+        )
+
+    def test_series_merge_concatenates_paths(self):
+        first = Netlist(critical_path=("XOR2",))
+        second = Netlist(critical_path=("AND2",))
+        merged = first.merge(second, share_critical_path=False)
+        assert merged.critical_path == ("XOR2", "AND2")
+
+    def test_parallel_merge_keeps_longer_path(self):
+        first = Netlist(critical_path=("XOR2", "XOR2"))
+        second = Netlist(critical_path=("AND2",))
+        merged = first.merge(second, share_critical_path=True)
+        assert merged.critical_path == ("XOR2", "XOR2")
+
+    def test_add_operator_is_parallel_merge(self):
+        first = Netlist(critical_path=("XOR2", "XOR2"))
+        first.add_cells("XOR2", 2)
+        second = Netlist(critical_path=("AND2",))
+        second.add_cells("AND2", 1)
+        combined = first + second
+        assert combined.total_cells == 3
+        assert combined.critical_path == ("XOR2", "XOR2")
+
+    def test_merge_sums_cell_counts(self):
+        first = Netlist()
+        first.add_cells("NOT", 4)
+        second = Netlist()
+        second.add_cells("NOT", 6)
+        assert first.merge(second).count("NOT") == 10

@@ -1,0 +1,44 @@
+"""Tests for the NISQ+ cost comparison model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.nisqplus import (
+    NISQPLUS_AREA_FACTOR,
+    NISQPLUS_LATENCY_FACTOR,
+    NISQPLUS_POWER_FACTOR,
+    nisqplus_overheads,
+)
+
+
+class TestNisqPlusModel:
+    def test_anchor_distance_reproduces_paper_factors(self):
+        overheads = nisqplus_overheads(
+            9, clique_power_w_at_9=1e-4, clique_area_mm2_at_9=10.0, clique_latency_ns_at_9=0.1
+        )
+        assert overheads.power_w == pytest.approx(1e-4 * NISQPLUS_POWER_FACTOR)
+        assert overheads.area_mm2 == pytest.approx(10.0 * NISQPLUS_AREA_FACTOR)
+        assert overheads.latency_ns == pytest.approx(0.1 * NISQPLUS_LATENCY_FACTOR)
+
+    def test_costs_grow_with_distance(self):
+        small = nisqplus_overheads(5, 1e-4, 10.0, 0.1)
+        large = nisqplus_overheads(17, 1e-4, 10.0, 0.1)
+        assert large.power_w > small.power_w
+        assert large.area_mm2 > small.area_mm2
+        assert large.latency_ns > small.latency_ns
+
+    def test_power_scales_superquadratically(self):
+        base = nisqplus_overheads(9, 1e-4, 10.0, 0.1)
+        double = nisqplus_overheads(17, 1e-4, 10.0, 0.1)
+        assert double.power_w / base.power_w > (17 / 9) ** 2
+
+    def test_worst_case_latency_factor(self):
+        overheads = nisqplus_overheads(9, 1e-4, 10.0, 0.1)
+        assert overheads.worst_case_latency_ns == pytest.approx(6 * overheads.latency_ns)
+
+    @pytest.mark.parametrize("bad", [2, 4, 1])
+    def test_rejects_invalid_distance(self, bad):
+        with pytest.raises(ConfigurationError):
+            nisqplus_overheads(bad, 1e-4, 10.0, 0.1)

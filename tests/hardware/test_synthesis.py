@@ -1,0 +1,61 @@
+"""Tests for the analytical Clique-decoder synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes.rotated_surface import get_code
+from repro.exceptions import ConfigurationError
+from repro.hardware.synthesis import synthesize_clique_decoder
+
+
+class TestStructure:
+    def test_accepts_code_or_distance(self):
+        by_distance = synthesize_clique_decoder(5)
+        by_code = synthesize_clique_decoder(get_code(5))
+        assert by_distance.summary() == by_code.summary()
+
+    def test_contains_expected_cell_types(self):
+        netlist = synthesize_clique_decoder(5)
+        for cell in ("XOR2", "AND2", "OR2", "NOT", "DFF", "SPLIT"):
+            assert netlist.count(cell) > 0, cell
+
+    def test_single_plane_is_half_the_logic(self):
+        both = synthesize_clique_decoder(5, include_both_types=True)
+        single = synthesize_clique_decoder(5, include_both_types=False)
+        assert single.count("XOR2") * 2 == both.count("XOR2")
+        assert single.count("AND2") * 2 == both.count("AND2")
+
+    def test_rejects_invalid_rounds(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_clique_decoder(5, measurement_rounds=0)
+
+    def test_single_round_design_drops_filter_cells(self):
+        with_filter = synthesize_clique_decoder(5, measurement_rounds=2)
+        without_filter = synthesize_clique_decoder(5, measurement_rounds=1)
+        assert without_filter.total_cells < with_filter.total_cells
+
+    def test_more_rounds_cost_more_hardware(self):
+        two = synthesize_clique_decoder(5, measurement_rounds=2)
+        four = synthesize_clique_decoder(5, measurement_rounds=4)
+        assert four.total_jj() > two.total_jj()
+        assert four.count("DFF") > two.count("DFF")
+
+
+class TestScaling:
+    def test_cell_count_grows_quadratically_with_distance(self):
+        small = synthesize_clique_decoder(5).total_cells
+        large = synthesize_clique_decoder(15).total_cells
+        ratio = large / small
+        # Ancilla count scales as d^2 - 1: the ratio should sit near
+        # (15^2 - 1) / (5^2 - 1) ~= 9.3, certainly not linear (3x).
+        assert 6.0 < ratio < 13.0
+
+    def test_critical_path_grows_slowly_with_distance(self):
+        small = synthesize_clique_decoder(3).critical_path_delay_ps()
+        large = synthesize_clique_decoder(21).critical_path_delay_ps()
+        assert large < 3 * small
+
+    @pytest.mark.parametrize("distance", [3, 7, 11])
+    def test_netlist_name_mentions_distance(self, distance):
+        assert f"d{distance}" in synthesize_clique_decoder(distance).name

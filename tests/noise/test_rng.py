@@ -1,0 +1,47 @@
+"""Tests for RNG utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_returns_generator_for_seed(self):
+        assert isinstance(make_rng(42), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_passthrough_of_existing_generator(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_none_seed_is_accepted(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_matches(self):
+        assert len(spawn_rngs(3, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(3, 2)
+        assert children[0].random() != children[1].random()
+
+    def test_reproducible_across_calls(self):
+        first = [g.random() for g in spawn_rngs(11, 3)]
+        second = [g.random() for g in spawn_rngs(11, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count_gives_empty_list(self):
+        assert spawn_rngs(0, 0) == []

@@ -1,0 +1,100 @@
+"""Property-based tests for compression, allocation and stalling invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bandwidth.afs import sparse_representation_bits
+from repro.bandwidth.allocation import provision_for_percentile
+from repro.bandwidth.stalling import StallSimulator
+from repro.hardware.netlist import Netlist
+
+
+class TestSparseRepresentationProperties:
+    @given(
+        length=st.integers(min_value=2, max_value=2048),
+        k=st.integers(min_value=0, max_value=2048),
+    )
+    def test_compressed_size_is_positive_and_monotone_in_k(self, length, k):
+        k = min(k, length)
+        bits = sparse_representation_bits(length, k)
+        assert bits >= 1
+        if k > 0:
+            assert bits > sparse_representation_bits(length, k - 1)
+
+    @given(length=st.integers(min_value=2, max_value=2048))
+    def test_all_zero_always_costs_one_bit(self, length):
+        assert sparse_representation_bits(length, 0) == 1
+
+    @given(
+        length=st.integers(min_value=2, max_value=512),
+        k=st.integers(min_value=1, max_value=512),
+    )
+    def test_index_encoding_can_address_every_position(self, length, k):
+        k = min(k, length)
+        per_index = (sparse_representation_bits(length, k) - 1) // k
+        assert 2**per_index >= length
+
+
+class TestAllocationProperties:
+    @given(
+        qubits=st.integers(min_value=1, max_value=5000),
+        rate=st.floats(min_value=0.0, max_value=0.5),
+        percentile=st.floats(min_value=1.0, max_value=99.99),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_is_within_physical_bounds(self, qubits, rate, percentile):
+        plan = provision_for_percentile(qubits, rate, percentile)
+        assert 1 <= plan.decodes_per_cycle <= max(qubits, 1)
+        assert plan.bandwidth_reduction >= 1.0 or math.isinf(plan.bandwidth_reduction)
+
+    @given(
+        qubits=st.integers(min_value=10, max_value=2000),
+        rate=st.floats(min_value=0.001, max_value=0.3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_percentiles_are_monotone(self, qubits, rate):
+        low = provision_for_percentile(qubits, rate, 50.0)
+        high = provision_for_percentile(qubits, rate, 99.9)
+        assert high.decodes_per_cycle >= low.decodes_per_cycle
+
+
+class TestStallSimulatorProperties:
+    @given(
+        qubits=st.integers(min_value=10, max_value=500),
+        rate=st.floats(min_value=0.0, max_value=0.2),
+        percentile=st.sampled_from([90.0, 99.0, 99.9]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_invariants(self, qubits, rate, percentile, seed):
+        plan = provision_for_percentile(qubits, rate, percentile)
+        result = StallSimulator(plan, seed=seed).run(100, keep_records=True)
+        assert result.total_cycles == len(result.records)
+        assert result.program_cycles <= 100
+        served_total = sum(record.served for record in result.records)
+        new_total = sum(record.new_requests for record in result.records)
+        # Everything served was requested at some point; the remainder is the
+        # final backlog.
+        final_backlog = result.records[-1].demand - result.records[-1].served
+        assert served_total + final_backlog == new_total
+
+
+class TestNetlistProperties:
+    @given(
+        xor=st.integers(min_value=0, max_value=1000),
+        and_=st.integers(min_value=0, max_value=1000),
+        split=st.integers(min_value=0, max_value=1000),
+    )
+    def test_totals_are_additive(self, xor, and_, split):
+        first = Netlist()
+        first.add_cells("XOR2", xor)
+        second = Netlist()
+        second.add_cells("AND2", and_)
+        second.add_cells("SPLIT", split)
+        combined = first + second
+        assert combined.total_cells == xor + and_ + split
+        assert combined.total_jj() == first.total_jj() + second.total_jj()
+        assert combined.total_area_um2() == first.total_area_um2() + second.total_area_um2()

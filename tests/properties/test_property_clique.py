@@ -1,0 +1,127 @@
+"""Property-based tests for the Clique decoder's decision logic."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.clique.decoder import CliqueDecoder, clique_rule
+from repro.codes.rotated_surface import get_code
+from repro.types import StabilizerType
+
+TYPES = st.sampled_from([StabilizerType.X, StabilizerType.Z])
+DISTANCES = st.sampled_from([3, 5, 7])
+
+
+@st.composite
+def sparse_error(draw, rate: float = 0.04):
+    distance = draw(DISTANCES)
+    code = get_code(distance)
+    bits = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=code.num_data_qubits,
+            max_size=code.num_data_qubits,
+        )
+    )
+    error = frozenset(q for q, value in zip(code.data_qubits, bits) if value < rate)
+    return code, error
+
+
+class TestCliqueRuleProperties:
+    @given(count=st.integers(min_value=0, max_value=4), boundary=st.booleans())
+    def test_odd_counts_are_always_trivial(self, count, boundary):
+        assume(count % 2 == 1)
+        assert not clique_rule(True, count, boundary)
+
+    @given(count=st.integers(min_value=2, max_value=4), boundary=st.booleans())
+    def test_even_positive_counts_are_always_complex(self, count, boundary):
+        assume(count % 2 == 0)
+        assert clique_rule(True, count, boundary)
+
+    @given(count=st.integers(min_value=0, max_value=4), boundary=st.booleans())
+    def test_inactive_cliques_never_raise_complex(self, count, boundary):
+        assert not clique_rule(False, count, boundary)
+
+
+class TestCliqueDecoderProperties:
+    @given(pair=sparse_error(), stype=TYPES)
+    @settings(max_examples=60, deadline=None)
+    def test_trivial_corrections_exactly_cancel_the_signature(self, pair, stype):
+        code, error = pair
+        decoder = CliqueDecoder(code, stype)
+        signature = code.syndrome_of(error, stype)
+        decision = decoder.decide(signature)
+        if decision.is_trivial:
+            assert np.array_equal(
+                code.syndrome_of(decision.correction, stype), signature
+            )
+        else:
+            assert decision.correction == frozenset()
+            assert decision.complex_cliques
+
+    @given(pair=sparse_error(), stype=TYPES)
+    @settings(max_examples=60, deadline=None)
+    def test_decision_is_deterministic(self, pair, stype):
+        code, error = pair
+        decoder = CliqueDecoder(code, stype)
+        signature = code.syndrome_of(error, stype)
+        first = decoder.decide(signature)
+        second = decoder.decide(signature)
+        assert first == second
+
+    @given(pair=sparse_error(rate=0.02), stype=TYPES)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_decision_matches_scalar_decision(self, pair, stype):
+        code, error = pair
+        decoder = CliqueDecoder(code, stype)
+        signature = code.syndrome_of(error, stype)
+        assert bool(decoder.is_trivial_batch(signature[np.newaxis, :])[0]) == (
+            decoder.decide(signature).is_trivial
+        )
+
+    @given(
+        distance=DISTANCES,
+        stype=TYPES,
+        index=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_single_data_errors_never_cause_logical_errors(self, distance, stype, index):
+        # A lone data error is the canonical Local-1s case: Clique must handle
+        # it on-chip and its fix must be equivalent to the exact one.
+        code = get_code(distance)
+        error = frozenset({code.data_qubits[index % code.num_data_qubits]})
+        decoder = CliqueDecoder(code, stype)
+        decision = decoder.decide(code.syndrome_of(error, stype))
+        assert decision.is_trivial
+        residual = error ^ decision.correction
+        assert not code.syndrome_of(residual, stype).any()
+        assert not code.is_logical_error(residual, stype)
+
+    @given(
+        distance=DISTANCES,
+        stype=TYPES,
+        indices=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_trivial_decisions_match_the_complex_decoder_up_to_stabilizers(
+        self, distance, stype, indices
+    ):
+        # Fig. 8(a)'s claim: when Clique declares a signature trivial, its
+        # correction is equivalent (up to stabilizers) to the one the
+        # heavy-weight MWPM decoder would apply — the two may only differ by
+        # an undetectable, non-logical operator.
+        from repro.decoders.mwpm import MWPMDecoder
+
+        code = get_code(distance)
+        error = frozenset(
+            code.data_qubits[index % code.num_data_qubits] for index in indices
+        )
+        decoder = CliqueDecoder(code, stype)
+        signature = code.syndrome_of(error, stype)
+        decision = decoder.decide(signature)
+        assume(decision.is_trivial)
+        mwpm_correction = MWPMDecoder(code, stype).decode(signature).correction
+        difference = decision.correction ^ mwpm_correction
+        assert not code.syndrome_of(difference, stype).any()
+        assert not code.is_logical_error(difference, stype)

@@ -1,0 +1,82 @@
+"""Property-based tests for the surface-code substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.rotated_surface import get_code
+from repro.types import StabilizerType
+
+DISTANCES = st.sampled_from([3, 5, 7])
+TYPES = st.sampled_from([StabilizerType.X, StabilizerType.Z])
+
+
+def _random_error(code, bits: list[bool]) -> frozenset:
+    qubits = code.data_qubits
+    return frozenset(q for q, bit in zip(qubits, bits) if bit)
+
+
+@st.composite
+def code_and_error(draw, max_distance: int = 7):
+    distance = draw(st.sampled_from([d for d in (3, 5, 7) if d <= max_distance]))
+    code = get_code(distance)
+    bits = draw(
+        st.lists(st.booleans(), min_size=code.num_data_qubits, max_size=code.num_data_qubits)
+    )
+    return code, _random_error(code, bits)
+
+
+class TestSyndromeProperties:
+    @given(pair=code_and_error(), stype=TYPES)
+    @settings(max_examples=60, deadline=None)
+    def test_syndrome_is_linear_under_symmetric_difference(self, pair, stype):
+        code, error = pair
+        half = frozenset(list(error)[: len(error) // 2])
+        rest = error ^ half
+        combined = (code.syndrome_of(half, stype) + code.syndrome_of(rest, stype)) % 2
+        assert np.array_equal(code.syndrome_of(error, stype), combined)
+
+    @given(distance=DISTANCES, stype=TYPES, index=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_stabilizers_have_zero_syndrome(self, distance, stype, index):
+        # Any stabilizer of the opposite type is an undetectable error.
+        code = get_code(distance)
+        stabilizers = code.stabilizers(stype.opposite)
+        stabilizer = stabilizers[index % len(stabilizers)]
+        assert not code.syndrome_of(frozenset(stabilizer.data_qubits), stype).any()
+
+    @given(distance=DISTANCES, stype=TYPES, indices=st.lists(st.integers(0, 10_000), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_products_of_stabilizers_are_not_logical_errors(self, distance, stype, indices):
+        code = get_code(distance)
+        stabilizers = code.stabilizers(stype.opposite)
+        product: frozenset = frozenset()
+        for index in indices:
+            product = product ^ frozenset(stabilizers[index % len(stabilizers)].data_qubits)
+        assert not code.syndrome_of(product, stype).any()
+        assert not code.is_logical_error(product, stype)
+
+    @given(pair=code_and_error(), stype=TYPES)
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_stabilizer_never_changes_the_syndrome(self, pair, stype):
+        code, error = pair
+        stabilizer = code.stabilizers(stype.opposite)[0]
+        augmented = error ^ frozenset(stabilizer.data_qubits)
+        assert np.array_equal(
+            code.syndrome_of(error, stype), code.syndrome_of(augmented, stype)
+        )
+
+    @given(pair=code_and_error(), stype=TYPES)
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_logical_operator_flips_the_logical_outcome(self, pair, stype):
+        # For X-type checks the tracked errors are Z-species, so adding the
+        # logical-Z operator (a row) leaves the syndrome unchanged and flips
+        # the logical verdict — and symmetrically for Z-type checks.
+        code, error = pair
+        logical = code.logical_support(stype.opposite)
+        augmented = error ^ logical
+        assert np.array_equal(
+            code.syndrome_of(error, stype), code.syndrome_of(augmented, stype)
+        )
+        assert code.is_logical_error(augmented, stype) != code.is_logical_error(error, stype)

@@ -1,0 +1,117 @@
+"""Tests for the batched per-cycle signature sampler (Fig. 4 workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.noise.models import CodeCapacityNoise, PhenomenologicalNoise
+from repro.simulation.cycles import (
+    classify_cycles,
+    sample_cycle_signatures,
+    simulate_signature_distribution,
+)
+from repro.types import StabilizerType
+
+
+class TestSampling:
+    def test_shapes(self, code_d5, rng):
+        noise = PhenomenologicalNoise(0.01)
+        signatures, flips = sample_cycle_signatures(
+            code_d5, StabilizerType.X, noise, 100, rng
+        )
+        width = code_d5.num_ancillas_of_type(StabilizerType.X)
+        assert signatures.shape == (100, width)
+        assert flips.shape == (100, width)
+
+    def test_zero_noise_gives_all_zero_signatures(self, code_d5, rng):
+        noise = PhenomenologicalNoise(0.0)
+        signatures, _ = sample_cycle_signatures(code_d5, StabilizerType.X, noise, 50, rng)
+        assert not signatures.any()
+
+    def test_rejects_nonpositive_cycles(self, code_d5, rng):
+        with pytest.raises(ConfigurationError):
+            sample_cycle_signatures(code_d5, StabilizerType.X, PhenomenologicalNoise(0.01), 0, rng)
+
+    def test_touch_counts_bound_signatures(self, code_d5, rng):
+        noise = PhenomenologicalNoise(0.05)
+        signatures, _, touches = sample_cycle_signatures(
+            code_d5, StabilizerType.X, noise, 200, rng, return_touch_counts=True
+        )
+        # A signature bit can only be set where at least one event touched.
+        assert not (signatures.astype(bool) & (touches == 0)).any()
+        # And signature parity must match touch-count parity.
+        assert np.array_equal(signatures, (touches % 2).astype(np.uint8))
+
+    def test_reproducible_with_seed(self, code_d3):
+        noise = PhenomenologicalNoise(0.02)
+        first, _ = sample_cycle_signatures(code_d3, StabilizerType.X, noise, 50, 123)
+        second, _ = sample_cycle_signatures(code_d3, StabilizerType.X, noise, 50, 123)
+        assert np.array_equal(first, second)
+
+
+class TestClassification:
+    def test_partition_covers_every_cycle(self, code_d5, rng):
+        noise = PhenomenologicalNoise(0.02)
+        signatures, _, touches = sample_cycle_signatures(
+            code_d5, StabilizerType.X, noise, 500, rng, return_touch_counts=True
+        )
+        zeros, locals_, complex_ = classify_cycles(signatures, touches)
+        combined = zeros.astype(int) + locals_.astype(int) + complex_.astype(int)
+        assert (combined == 1).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_cycles(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4)))
+
+    def test_quiet_cycles_are_all_zeros(self, code_d3):
+        signatures = np.zeros((4, code_d3.num_ancillas_of_type(StabilizerType.X)), dtype=np.uint8)
+        touches = np.zeros_like(signatures, dtype=np.int64)
+        zeros, locals_, complex_ = classify_cycles(signatures, touches)
+        assert zeros.all()
+        assert not locals_.any()
+        assert not complex_.any()
+
+
+class TestDistribution:
+    def test_counts_sum_to_cycles(self, code_d5):
+        noise = PhenomenologicalNoise(0.01)
+        dist = simulate_signature_distribution(code_d5, noise, 5000, rng=7)
+        assert dist.all_zeros + dist.local_ones + dist.complex_ == 5000
+        assert dist.trivial_fraction + dist.complex_fraction == pytest.approx(1.0)
+
+    def test_low_error_rate_is_mostly_all_zeros(self, code_d5):
+        noise = PhenomenologicalNoise(1e-4)
+        dist = simulate_signature_distribution(code_d5, noise, 5000, rng=8)
+        assert dist.all_zeros_fraction > 0.9
+
+    def test_trivial_fraction_exceeds_90_percent_at_practical_points(self, code_d7):
+        # The motivating observation of Section 3.
+        noise = PhenomenologicalNoise(1e-3)
+        dist = simulate_signature_distribution(code_d7, noise, 10_000, rng=9)
+        assert dist.trivial_fraction > 0.9
+
+    def test_complex_fraction_grows_with_error_rate(self, code_d7):
+        low = simulate_signature_distribution(
+            code_d7, PhenomenologicalNoise(1e-3), 10_000, rng=10
+        )
+        high = simulate_signature_distribution(
+            code_d7, PhenomenologicalNoise(1e-2), 10_000, rng=11
+        )
+        assert high.complex_fraction > low.complex_fraction
+
+    def test_batching_does_not_change_totals(self, code_d3):
+        noise = CodeCapacityNoise(0.05)
+        small_batches = simulate_signature_distribution(
+            code_d3, noise, 3000, rng=12, batch_size=100
+        )
+        assert small_batches.cycles == 3000
+
+    def test_as_row_is_flat_and_consistent(self, code_d3):
+        dist = simulate_signature_distribution(
+            code_d3, PhenomenologicalNoise(0.01), 1000, rng=13
+        )
+        row = dist.as_row()
+        assert row["code_distance"] == 3.0
+        assert row["all_zeros_fraction"] == pytest.approx(dist.all_zeros_fraction)

@@ -1,0 +1,106 @@
+"""Tests for ground-truth signature classification (Fig. 4 buckets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.syndrome.classification import (
+    SignatureCounts,
+    classify_error_configuration,
+    classify_signature_counts,
+)
+from repro.types import Coord, SignatureClass, StabilizerType
+
+
+class TestClassifyErrorConfiguration:
+    def test_no_errors_is_all_zeros(self, code_d5, stype):
+        assert (
+            classify_error_configuration(code_d5, stype, frozenset())
+            is SignatureClass.ALL_ZEROS
+        )
+
+    def test_single_data_error_is_local(self, code_d5, stype):
+        error = {code_d5.data_qubits[code_d5.num_data_qubits // 2]}
+        assert (
+            classify_error_configuration(code_d5, stype, error)
+            is SignatureClass.LOCAL_ONES
+        )
+
+    def test_single_measurement_error_is_local(self, code_d5, stype):
+        ancilla = code_d5.ancillas(stype)[0].coord
+        assert (
+            classify_error_configuration(code_d5, stype, frozenset(), {ancilla})
+            is SignatureClass.LOCAL_ONES
+        )
+
+    def test_two_distant_errors_are_local(self, code_d7):
+        errors = {Coord(0, 0), Coord(12, 12)}
+        assert (
+            classify_error_configuration(code_d7, StabilizerType.X, errors)
+            is SignatureClass.LOCAL_ONES
+        )
+
+    def test_adjacent_error_chain_is_complex(self, code_d5):
+        # Two data errors sharing an X ancilla form a chain of length 2.
+        ancilla = next(
+            a for a in code_d5.ancillas(StabilizerType.X) if a.weight == 4
+        )
+        errors = set(ancilla.data_qubits[:2])
+        assert (
+            classify_error_configuration(code_d5, StabilizerType.X, errors)
+            is SignatureClass.COMPLEX
+        )
+
+    def test_data_error_next_to_measurement_error_is_complex(self, code_d5):
+        ancilla = next(a for a in code_d5.ancillas(StabilizerType.X) if a.weight == 4)
+        # Use a shared (non-boundary) data qubit so the two events do not
+        # cancel each other's signature on the common ancilla.
+        data_error = {ancilla.shared_qubits[0]}
+        assert (
+            classify_error_configuration(
+                code_d5, StabilizerType.X, data_error, {ancilla.coord}
+            )
+            is SignatureClass.COMPLEX
+        )
+
+    def test_cancelled_signature_counts_as_all_zeros(self, code_d5):
+        # A measurement error on an ancilla plus a boundary data error that
+        # flips only that ancilla cancel out: nothing is detected.
+        ancilla = next(
+            a for a in code_d5.ancillas(StabilizerType.X) if a.boundary_qubits
+        )
+        result = classify_error_configuration(
+            code_d5,
+            StabilizerType.X,
+            {ancilla.boundary_qubits[0]},
+            {ancilla.coord},
+        )
+        assert result is SignatureClass.ALL_ZEROS
+
+
+class TestSignatureCounts:
+    def test_add_and_total(self):
+        counts = SignatureCounts()
+        counts.add(SignatureClass.ALL_ZEROS, 3)
+        counts.add(SignatureClass.LOCAL_ONES)
+        counts.add(SignatureClass.COMPLEX, 2)
+        assert counts.total == 6
+        assert counts.all_zeros == 3
+        assert counts.local_ones == 1
+        assert counts.complex_ == 2
+
+    def test_fractions_sum_to_one(self):
+        counts = SignatureCounts(all_zeros=5, local_ones=3, complex_=2)
+        fractions = counts.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions_are_zero(self):
+        assert all(value == 0.0 for value in SignatureCounts().fractions().values())
+
+    def test_classify_signature_counts_aggregates(self):
+        counts = classify_signature_counts(
+            [SignatureClass.ALL_ZEROS, SignatureClass.ALL_ZEROS, SignatureClass.COMPLEX]
+        )
+        assert counts.all_zeros == 2
+        assert counts.complex_ == 1
+        assert counts.local_ones == 0

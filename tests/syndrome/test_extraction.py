@@ -1,0 +1,70 @@
+"""Tests for syndrome extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SyndromeShapeError
+from repro.noise.events import errors_to_vector
+from repro.syndrome.extraction import extract_syndrome, flipped_ancillas, observed_syndrome
+from repro.types import Coord, StabilizerType
+
+
+class TestExtractSyndrome:
+    def test_matches_code_syndrome_of(self, code_d5, stype, rng):
+        error = {q for q in code_d5.data_qubits if rng.random() < 0.2}
+        vector = errors_to_vector(error, code_d5.data_index)
+        assert np.array_equal(
+            extract_syndrome(code_d5, stype, vector), code_d5.syndrome_of(error, stype)
+        )
+
+    def test_rejects_wrong_length(self, code_d3):
+        with pytest.raises(SyndromeShapeError):
+            extract_syndrome(code_d3, StabilizerType.X, np.zeros(5, dtype=np.uint8))
+
+    def test_zero_error_zero_syndrome(self, code_d3, stype):
+        vector = np.zeros(code_d3.num_data_qubits, dtype=np.uint8)
+        assert not extract_syndrome(code_d3, stype, vector).any()
+
+
+class TestObservedSyndrome:
+    def test_no_flips_returns_true_syndrome(self):
+        true = np.array([1, 0, 1, 0], dtype=np.uint8)
+        assert np.array_equal(observed_syndrome(true), true)
+
+    def test_flips_are_xored(self):
+        true = np.array([1, 0, 1, 0], dtype=np.uint8)
+        flips = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert observed_syndrome(true, flips).tolist() == [0, 1, 1, 0]
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(SyndromeShapeError):
+            observed_syndrome(np.zeros(4, dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+
+
+class TestFlippedAncillas:
+    def test_returns_coordinates_of_set_bits(self, code_d3):
+        ancillas = code_d3.ancillas(StabilizerType.X)
+        syndrome = np.zeros(len(ancillas), dtype=np.uint8)
+        syndrome[1] = 1
+        syndrome[3] = 1
+        assert flipped_ancillas(code_d3, StabilizerType.X, syndrome) == frozenset(
+            {ancillas[1].coord, ancillas[3].coord}
+        )
+
+    def test_empty_syndrome_gives_empty_set(self, code_d3, stype):
+        size = code_d3.num_ancillas_of_type(stype)
+        assert flipped_ancillas(code_d3, stype, np.zeros(size, dtype=np.uint8)) == frozenset()
+
+    def test_rejects_wrong_length(self, code_d3):
+        with pytest.raises(SyndromeShapeError):
+            flipped_ancillas(code_d3, StabilizerType.X, np.zeros(3, dtype=np.uint8))
+
+    def test_single_bulk_error_flips_adjacent_ancillas(self, code_d5):
+        centre = Coord(4, 4)
+        syndrome = code_d5.syndrome_of({centre}, StabilizerType.X)
+        flipped = flipped_ancillas(code_d5, StabilizerType.X, syndrome)
+        assert len(flipped) == 2
+        for coord in flipped:
+            assert abs(coord.row - centre.row) == 1 and abs(coord.col - centre.col) == 1

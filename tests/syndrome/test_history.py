@@ -1,0 +1,103 @@
+"""Tests for syndrome histories and detection events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SyndromeShapeError
+from repro.syndrome.history import DetectionEvent, SyndromeHistory
+
+
+class TestSyndromeHistory:
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            SyndromeHistory(0)
+
+    def test_record_validates_length(self):
+        history = SyndromeHistory(4)
+        with pytest.raises(SyndromeShapeError):
+            history.record(np.zeros(3, dtype=np.uint8))
+
+    def test_empty_history_has_empty_detection_matrix(self):
+        history = SyndromeHistory(4)
+        assert history.detection_matrix().shape == (0, 4)
+        assert history.detection_events() == []
+
+    def test_first_round_compared_against_zero_frame(self):
+        history = SyndromeHistory(3)
+        history.record(np.array([1, 0, 1], dtype=np.uint8))
+        assert history.detection_matrix().tolist() == [[1, 0, 1]]
+
+    def test_detection_is_difference_of_consecutive_rounds(self):
+        history = SyndromeHistory(3)
+        history.record(np.array([1, 0, 0], dtype=np.uint8))
+        history.record(np.array([1, 1, 0], dtype=np.uint8))
+        history.record(np.array([0, 1, 0], dtype=np.uint8))
+        assert history.detection_matrix().tolist() == [
+            [1, 0, 0],
+            [0, 1, 0],
+            [1, 0, 0],
+        ]
+
+    def test_persistent_flip_generates_single_event(self):
+        # A data error flips the syndrome once and it stays flipped: only the
+        # first round shows a detection event.
+        history = SyndromeHistory(2)
+        history.record(np.array([1, 0], dtype=np.uint8))
+        history.record(np.array([1, 0], dtype=np.uint8))
+        history.record(np.array([1, 0], dtype=np.uint8))
+        assert history.total_detection_count() == 1
+
+    def test_transient_flip_generates_event_pair(self):
+        # A measurement error flips one round only: two detection events on
+        # the same ancilla in consecutive rounds.
+        history = SyndromeHistory(2)
+        history.record(np.array([0, 1], dtype=np.uint8))
+        history.record(np.array([0, 0], dtype=np.uint8))
+        events = history.detection_events()
+        assert events == [
+            DetectionEvent(round=0, ancilla_index=1),
+            DetectionEvent(round=1, ancilla_index=1),
+        ]
+
+    def test_events_in_round(self):
+        history = SyndromeHistory(3)
+        history.record(np.array([1, 1, 0], dtype=np.uint8))
+        history.record(np.array([1, 1, 0], dtype=np.uint8))
+        assert len(history.events_in_round(0)) == 2
+        assert history.events_in_round(1) == []
+
+    def test_events_in_round_bounds_checked(self):
+        history = SyndromeHistory(3)
+        history.record(np.zeros(3, dtype=np.uint8))
+        with pytest.raises(IndexError):
+            history.events_in_round(5)
+
+    def test_observed_returns_copy(self):
+        history = SyndromeHistory(2)
+        history.record(np.array([1, 0], dtype=np.uint8))
+        observed = history.observed(0)
+        observed[0] = 0
+        assert history.observed(0)[0] == 1
+
+    def test_num_rounds_tracks_records(self):
+        history = SyndromeHistory(2)
+        assert history.num_rounds == 0
+        history.record(np.zeros(2, dtype=np.uint8))
+        history.record(np.zeros(2, dtype=np.uint8))
+        assert history.num_rounds == 2
+
+
+class TestDetectionEvent:
+    def test_ordering_by_round_then_index(self):
+        events = [
+            DetectionEvent(round=1, ancilla_index=0),
+            DetectionEvent(round=0, ancilla_index=5),
+            DetectionEvent(round=0, ancilla_index=2),
+        ]
+        assert sorted(events) == [
+            DetectionEvent(round=0, ancilla_index=2),
+            DetectionEvent(round=0, ancilla_index=5),
+            DetectionEvent(round=1, ancilla_index=0),
+        ]

@@ -1,0 +1,60 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    BandwidthConfigurationError,
+    ConfigurationError,
+    DecodingError,
+    ExperimentNotFoundError,
+    InvalidDistanceError,
+    InvalidProbabilityError,
+    ReproError,
+    SyndromeShapeError,
+    SynthesisError,
+)
+
+
+@pytest.mark.parametrize(
+    "exception_type",
+    [
+        ConfigurationError,
+        InvalidDistanceError,
+        InvalidProbabilityError,
+        DecodingError,
+        SyndromeShapeError,
+        BandwidthConfigurationError,
+        SynthesisError,
+        ExperimentNotFoundError,
+    ],
+)
+def test_all_exceptions_derive_from_repro_error(exception_type):
+    assert issubclass(exception_type, ReproError)
+
+
+def test_invalid_distance_records_value():
+    error = InvalidDistanceError(4)
+    assert error.distance == 4
+    assert "4" in str(error)
+
+
+def test_invalid_probability_records_name_and_value():
+    error = InvalidProbabilityError("p", 1.5)
+    assert error.name == "p"
+    assert error.value == 1.5
+    assert "p" in str(error)
+
+
+def test_syndrome_shape_error_message():
+    error = SyndromeShapeError(expected=12, actual=8)
+    assert error.expected == 12
+    assert error.actual == 8
+    assert "12" in str(error) and "8" in str(error)
+
+
+def test_experiment_not_found_lists_available():
+    error = ExperimentNotFoundError("fig99", ("fig11", "fig15"))
+    assert "fig99" in str(error)
+    assert "fig11" in str(error)

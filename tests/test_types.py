@@ -1,0 +1,70 @@
+"""Tests for the shared value types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import Coord, DecodeLocation, PauliError, SignatureClass, StabilizerType
+
+
+class TestCoord:
+    def test_is_data_for_even_even(self):
+        assert Coord(0, 0).is_data
+        assert Coord(4, 2).is_data
+
+    def test_is_ancilla_for_odd_odd(self):
+        assert Coord(1, 1).is_ancilla
+        assert Coord(3, 5).is_ancilla
+
+    def test_mixed_parity_is_neither(self):
+        mixed = Coord(1, 2)
+        assert not mixed.is_data
+        assert not mixed.is_ancilla
+
+    def test_offset_returns_new_coord(self):
+        coord = Coord(2, 2)
+        shifted = coord.offset(1, -1)
+        assert shifted == Coord(3, 1)
+        assert coord == Coord(2, 2)
+
+    def test_coords_are_ordered_tuples(self):
+        assert Coord(0, 1) < Coord(1, 0)
+        assert sorted([Coord(2, 0), Coord(0, 2)]) == [Coord(0, 2), Coord(2, 0)]
+
+    def test_coords_are_hashable(self):
+        assert len({Coord(0, 0), Coord(0, 0), Coord(2, 0)}) == 2
+
+
+class TestStabilizerType:
+    def test_x_detects_z_errors(self):
+        assert StabilizerType.X.detects is PauliError.Z
+
+    def test_z_detects_x_errors(self):
+        assert StabilizerType.Z.detects is PauliError.X
+
+    def test_opposite_is_involutive(self):
+        for stype in StabilizerType:
+            assert stype.opposite.opposite is stype
+
+
+class TestPauliError:
+    def test_z_detected_by_x_checks(self):
+        assert PauliError.Z.detected_by is StabilizerType.X
+
+    def test_x_detected_by_z_checks(self):
+        assert PauliError.X.detected_by is StabilizerType.Z
+
+    def test_y_detected_by_raises(self):
+        with pytest.raises(ValueError):
+            _ = PauliError.Y.detected_by
+
+
+class TestEnumsValues:
+    def test_signature_class_values(self):
+        assert SignatureClass.ALL_ZEROS.value == "all-0s"
+        assert SignatureClass.LOCAL_ONES.value == "local-1s"
+        assert SignatureClass.COMPLEX.value == "complex"
+
+    def test_decode_location_values(self):
+        assert DecodeLocation.ON_CHIP.value == "on-chip"
+        assert DecodeLocation.OFF_CHIP.value == "off-chip"
