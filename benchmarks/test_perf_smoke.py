@@ -1,0 +1,102 @@
+"""Perf smoke: trials/sec of the batch vs loop Monte-Carlo engines.
+
+Times the Fig. 14 gate workload (d=5, p=1e-2, 1000 trials, Clique+MWPM) on
+both engines, asserts the batch engine's >= 5x advantage, and appends a
+timestamped record to ``BENCH_memory.json`` at the repo root so the speedup
+trajectory is tracked across PRs.
+
+The run is deliberately kept out of the tier-1 fast path: set
+``REPRO_PERF_SMOKE=1`` to enable it, e.g.
+
+    REPRO_PERF_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_perf_smoke.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.clique.hierarchical import HierarchicalDecoder
+from repro.codes.rotated_surface import get_code
+from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.memory import run_memory_experiment
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_memory.json"
+
+DISTANCE = 5
+ERROR_RATE = 1e-2
+TRIALS = 1_000
+SEED = 2026
+MIN_SPEEDUP = 5.0
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PERF_SMOKE") != "1",
+    reason="perf smoke stays out of the tier-1 fast path; set REPRO_PERF_SMOKE=1",
+)
+
+
+def _hierarchical(code, stype):
+    return HierarchicalDecoder(code, stype)
+
+
+def _time_engine(engine: str) -> dict:
+    code = get_code(DISTANCE)
+    noise = PhenomenologicalNoise(ERROR_RATE)
+    start = time.perf_counter()
+    result = run_memory_experiment(
+        code, noise, _hierarchical, trials=TRIALS, rng=SEED, engine=engine
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "engine": engine,
+        "seconds": round(elapsed, 4),
+        "trials_per_sec": round(TRIALS / elapsed, 1),
+        "logical_failures": result.logical_failures,
+        "onchip_round_fraction": round(result.onchip_round_fraction, 4),
+    }
+
+
+def test_batch_engine_speedup_and_bench_record():
+    # Warm-up outside the timers: lattice/matching-graph construction is
+    # shared one-time cost, not engine throughput.
+    run_memory_experiment(
+        get_code(DISTANCE),
+        PhenomenologicalNoise(ERROR_RATE),
+        _hierarchical,
+        trials=10,
+        rng=1,
+    )
+
+    loop_run = _time_engine("loop")
+    batch_run = _time_engine("batch")
+    speedup = batch_run["trials_per_sec"] / loop_run["trials_per_sec"]
+
+    record = {
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "workload": {
+            "experiment": "memory",
+            "decoder": "Clique+MWPM",
+            "distance": DISTANCE,
+            "error_rate": ERROR_RATE,
+            "trials": TRIALS,
+            "seed": SEED,
+        },
+        "runs": [loop_run, batch_run],
+        "speedup": round(speedup, 2),
+    }
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(record)
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    # The engines must agree bit for bit on the identical seeded workload...
+    assert batch_run["logical_failures"] == loop_run["logical_failures"]
+    assert batch_run["onchip_round_fraction"] == loop_run["onchip_round_fraction"]
+    # ...and the batch engine must hold its throughput advantage.
+    assert speedup >= MIN_SPEEDUP, f"batch engine speedup regressed: {speedup:.1f}x"

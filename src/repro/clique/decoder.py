@@ -96,6 +96,24 @@ class CliqueDecoder(Decoder):
         self._has_boundary = np.array(
             [clique.has_boundary for clique in self._cliques], dtype=bool
         )
+        # One-hot gather tables for fully vectorised correction assembly
+        # (mirroring the index tables a hardware implementation would bake
+        # into its correction ROM): row ``4*i + slot`` of the leaf table maps
+        # "clique i sees its slot-th leaf set" to the shared data qubit, and
+        # row ``i`` of the boundary table maps "clique i active with no set
+        # leaf" to its first boundary qubit.
+        data_index = code.data_index
+        num_data = code.num_data_qubits
+        self._leaf_correction_table = np.zeros((num * 4, num_data), dtype=np.int64)
+        self._boundary_correction_table = np.zeros((num, num_data), dtype=np.int64)
+        for clique in self._cliques:
+            for slot, shared in enumerate(clique.shared_qubits):
+                row = clique.ancilla_index * 4 + slot
+                self._leaf_correction_table[row, data_index[shared]] = 1
+            if clique.boundary_qubits:
+                self._boundary_correction_table[
+                    clique.ancilla_index, data_index[clique.boundary_qubits[0]]
+                ] = 1
 
     @property
     def cliques(self) -> tuple[Clique, ...]:
@@ -128,6 +146,38 @@ class CliqueDecoder(Decoder):
     def is_trivial_batch(self, signatures: np.ndarray) -> np.ndarray:
         """True per signature row when no clique is complex (on-chip decodable)."""
         return ~self.complex_mask(signatures).any(axis=-1)
+
+    def correction_bitmap(self, signatures: np.ndarray) -> np.ndarray:
+        """Vectorised correction assembly for a batch of *trivial* signatures.
+
+        Args:
+            signatures: array of shape ``(..., num_ancillas)`` with 0/1
+                entries; every row must already have passed
+                :meth:`is_trivial_batch` (rows with complex cliques produce
+                garbage, never an error).
+
+        Returns:
+            uint8 bitmap of shape ``(..., num_data_qubits)`` in
+            ``code.data_index`` column order, equal per row to the bitmap of
+            :meth:`decide`'s ``correction`` set: within one signature,
+            contributions from different cliques to the same qubit collapse
+            (set-union semantics), matching the idempotent hardware OR.
+        """
+        signatures = np.asarray(signatures, dtype=np.uint8) & 1
+        batch_shape = signatures.shape[:-1]
+        num = len(self._cliques)
+        padded = np.concatenate(
+            [signatures, np.zeros(batch_shape + (1,), dtype=np.uint8)], axis=-1
+        )
+        leaf_set = padded[..., self._neighbor_table].astype(bool)
+        active = signatures.astype(bool)
+        # Odd-leaf case: flip the qubit shared with each set leaf.
+        pair_contrib = (active[..., None] & leaf_set).reshape(batch_shape + (num * 4,))
+        counts = pair_contrib.astype(np.int64) @ self._leaf_correction_table
+        # Boundary case: active clique with no set leaf flips a boundary qubit.
+        lone = active & ~leaf_set.any(axis=-1)
+        counts += lone.astype(np.int64) @ self._boundary_correction_table
+        return (counts > 0).astype(np.uint8)
 
     # ------------------------------------------------------------------
     def decide(self, signature: np.ndarray) -> CliqueDecision:

@@ -6,13 +6,14 @@ are included as additional baselines and as cross-validation oracles for the
 test suite.
 """
 
-from repro.decoders.base import Decoder, DecodeResult
+from repro.decoders.base import BatchDecodeResult, Decoder, DecodeResult
 from repro.decoders.lookup import LookupDecoder
 from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
 from repro.decoders.mwpm import MWPMDecoder
 from repro.decoders.union_find import ClusteringDecoder
 
 __all__ = [
+    "BatchDecodeResult",
     "Decoder",
     "DecodeResult",
     "MatchingGraph",

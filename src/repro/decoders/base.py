@@ -31,6 +31,32 @@ class DecodeResult:
     metadata: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class BatchDecodeResult:
+    """Outcome of decoding a batch of detection-event histories at once.
+
+    Corrections are returned as a dense bitmap rather than coordinate sets so
+    that batched callers (the vectorised Monte-Carlo engine) can XOR them
+    against accumulated-error bitmaps without any per-trial set manipulation.
+
+    Attributes:
+        corrections: uint8 matrix of shape ``(trials, num_data_qubits)`` in
+            ``code.data_index`` column order; entry 1 means "flip this qubit".
+        onchip_rounds: per-trial count of measurement rounds resolved on-chip
+            (all-zero for decoders that do not track decode locations).
+        total_rounds: per-trial count of rounds with location tracking
+            (all-zero for decoders that do not track decode locations).
+    """
+
+    corrections: np.ndarray
+    onchip_rounds: np.ndarray
+    total_rounds: np.ndarray
+
+    @property
+    def num_trials(self) -> int:
+        return self.corrections.shape[0]
+
+
 class Decoder(abc.ABC):
     """A decoder for one stabilizer type of one surface code instance.
 
@@ -65,9 +91,58 @@ class Decoder(abc.ABC):
             raise SyndromeShapeError(expected, matrix.shape[1])
         return matrix
 
+    def _as_detection_batch(self, histories: np.ndarray) -> np.ndarray:
+        """Normalise input to a 3-D uint8 tensor ``(trials, rounds, ancillas)``."""
+        batch = np.asarray(histories, dtype=np.uint8) & 1
+        if batch.ndim == 2:
+            batch = batch[np.newaxis]
+        if batch.ndim != 3:
+            raise ValueError(
+                f"expected a (trials, rounds, ancillas) tensor, got {batch.ndim}-D input"
+            )
+        expected = self._code.num_ancillas_of_type(self._stype)
+        if batch.shape[2] != expected:
+            raise SyndromeShapeError(expected, batch.shape[2])
+        return batch
+
     @abc.abstractmethod
     def decode(self, detections: np.ndarray) -> DecodeResult:
         """Decode a detection-event matrix into a data-qubit correction."""
 
+    def decode_batch(self, histories: np.ndarray) -> BatchDecodeResult:
+        """Decode a batch of detection-event histories.
 
-__all__ = ["Decoder", "DecodeResult"]
+        Args:
+            histories: tensor of shape ``(trials, rounds, num_ancillas)``
+                (a single 2-D history is accepted as a batch of one).
+
+        The base implementation decodes trial by trial through :meth:`decode`
+        and repackages the results; decoders with a vectorised fast path (the
+        Clique hierarchy) override it.  Subclass overrides must stay
+        bit-identical to this reference semantics — the batched Monte-Carlo
+        engine's equivalence guarantee depends on it.
+        """
+        batch = self._as_detection_batch(histories)
+        trials = batch.shape[0]
+        corrections = np.zeros((trials, self._code.num_data_qubits), dtype=np.uint8)
+        onchip_rounds = np.zeros(trials, dtype=np.int64)
+        total_rounds = np.zeros(trials, dtype=np.int64)
+        data_index = self._code.data_index
+        for trial in range(trials):
+            result = self.decode(batch[trial])
+            for qubit in result.correction:
+                corrections[trial, data_index[qubit]] ^= 1
+            metadata = result.metadata
+            if "num_offchip_rounds" in metadata and "num_rounds" in metadata:
+                onchip_rounds[trial] = (
+                    metadata["num_rounds"] - metadata["num_offchip_rounds"]
+                )
+                total_rounds[trial] = metadata["num_rounds"]
+        return BatchDecodeResult(
+            corrections=corrections,
+            onchip_rounds=onchip_rounds,
+            total_rounds=total_rounds,
+        )
+
+
+__all__ = ["BatchDecodeResult", "Decoder", "DecodeResult"]

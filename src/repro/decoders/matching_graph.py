@@ -20,6 +20,8 @@ from collections import deque
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.types import Coord, StabilizerType
 
@@ -80,6 +82,16 @@ class MatchingGraph:
             boundary_distance, boundary_path = self._bfs_to_boundary(source)
             self._boundary_distance.append(boundary_distance)
             self._boundary_path.append(boundary_path)
+        # Dense copies for batched consumers: pairwise event distances become
+        # a single fancy-indexing gather instead of O(n^2) method calls.
+        self._spatial_distance_matrix = np.asarray(
+            self._spatial_distance, dtype=np.int64
+        )
+        self._boundary_distance_array = np.asarray(
+            self._boundary_distance, dtype=np.int64
+        )
+        self._spatial_distance_matrix.flags.writeable = False
+        self._boundary_distance_array.flags.writeable = False
 
     def _bfs(
         self, source: int, allow_boundary: bool
@@ -139,6 +151,16 @@ class MatchingGraph:
     @property
     def num_ancillas(self) -> int:
         return self._num_nodes
+
+    @property
+    def spatial_distance_matrix(self) -> np.ndarray:
+        """Pairwise ancilla-to-ancilla chain lengths, shape ``(n, n)`` (read-only)."""
+        return self._spatial_distance_matrix
+
+    @property
+    def boundary_distance_array(self) -> np.ndarray:
+        """Per-ancilla chain length to the boundary, shape ``(n,)`` (read-only)."""
+        return self._boundary_distance_array
 
     def spatial_distance(self, ancilla_a: int, ancilla_b: int) -> int:
         """Shortest data-error chain length connecting two ancillas."""

@@ -16,6 +16,11 @@ The implementation builds the standard auxiliary graph:
 and solves it with :func:`networkx.max_weight_matching` (blossom algorithm)
 with ``maxcardinality=True``, which yields a minimum-total-distance perfect
 matching.
+
+Small event sets — the common case for the hierarchy's off-chip fallback,
+which only ever sees the rare complex rounds — skip the auxiliary graph
+entirely: an exact subset-DP over pair/boundary assignments finds the same
+minimum-total-distance solution in microseconds.
 """
 
 from __future__ import annotations
@@ -48,6 +53,9 @@ class MWPMDecoder(Decoder):
     ) -> None:
         super().__init__(code, stype)
         self._graph = matching_graph or MatchingGraph(code, stype)
+        # The zero-weight boundary-copy clique depends only on the event
+        # count, so the edge lists are built once per count and reused.
+        self._boundary_clique_cache: dict[int, list] = {}
 
     @property
     def matching_graph(self) -> MatchingGraph:
@@ -78,28 +86,101 @@ class MWPMDecoder(Decoder):
         )
 
     # ------------------------------------------------------------------
+    #: Largest event count routed to the exact subset-DP solver; beyond it the
+    #: O(2^n n) DP loses to blossom's polynomial scaling.
+    _SMALL_CASE_LIMIT = 8
+
+    def _match_small(
+        self,
+        events: list[SpaceTimeEvent],
+        distance: list[list[int]],
+        boundary_distance: list[int],
+    ) -> tuple[list[tuple[SpaceTimeEvent, SpaceTimeEvent]], list[SpaceTimeEvent]]:
+        """Exact minimum-total-distance assignment by DP over event subsets.
+
+        ``best[mask]`` is the cheapest way to resolve the event subset
+        ``mask``, where every event is either paired with another event in the
+        subset or matched to the boundary — the same solution space the
+        auxiliary matching graph encodes.
+        """
+        num = len(events)
+        full = (1 << num) - 1
+        best = [0] * (full + 1)
+        choice: list[tuple[int, int]] = [(-1, -1)] * (full + 1)
+        for mask in range(1, full + 1):
+            lowest = (mask & -mask).bit_length() - 1
+            rest = mask ^ (1 << lowest)
+            best_cost = boundary_distance[lowest] + best[rest]
+            best_choice = (lowest, -1)
+            row = distance[lowest]
+            partners = rest
+            while partners:
+                partner = (partners & -partners).bit_length() - 1
+                partners &= partners - 1
+                cost = row[partner] + best[rest ^ (1 << partner)]
+                if cost < best_cost:
+                    best_cost = cost
+                    best_choice = (lowest, partner)
+            best[mask] = best_cost
+            choice[mask] = best_choice
+
+        pairs: list[tuple[SpaceTimeEvent, SpaceTimeEvent]] = []
+        boundary_matches: list[SpaceTimeEvent] = []
+        mask = full
+        while mask:
+            event, partner = choice[mask]
+            if partner == -1:
+                boundary_matches.append(events[event])
+                mask ^= 1 << event
+            else:
+                pairs.append((events[event], events[partner]))
+                mask ^= (1 << event) | (1 << partner)
+        return pairs, boundary_matches
+
+    def _boundary_clique_edges(self, num: int) -> list:
+        """Cached zero-weight clique among the ``num`` boundary copies."""
+        edges = self._boundary_clique_cache.get(num)
+        if edges is None:
+            edges = [
+                (("boundary", i), ("boundary", j), 0)
+                for i in range(num)
+                for j in range(i + 1, num)
+            ]
+            self._boundary_clique_cache[num] = edges
+        return edges
+
     def _match(
         self, events: list[SpaceTimeEvent]
     ) -> tuple[list[tuple[SpaceTimeEvent, SpaceTimeEvent]], list[SpaceTimeEvent]]:
         """Solve the auxiliary matching problem for a list of detection events."""
-        graph = nx.Graph()
         num = len(events)
+        ancilla = np.fromiter(
+            (event.ancilla_index for event in events), dtype=np.int64, count=num
+        )
+        rounds = np.fromiter(
+            (event.round for event in events), dtype=np.int64, count=num
+        )
+        # All pairwise space-time distances in two vectorised gathers.
+        distance = (
+            self._graph.spatial_distance_matrix[np.ix_(ancilla, ancilla)]
+            + np.abs(rounds[:, None] - rounds[None, :])
+        ).tolist()
+        boundary_distance = self._graph.boundary_distance_array[ancilla].tolist()
+
+        if num <= self._SMALL_CASE_LIMIT:
+            return self._match_small(events, distance, boundary_distance)
+
+        edges = [
+            (("event", i), ("boundary", i), -boundary_distance[i]) for i in range(num)
+        ]
         for i in range(num):
-            graph.add_node(("event", i))
-            graph.add_node(("boundary", i))
-        for i in range(num):
-            graph.add_edge(
-                ("event", i),
-                ("boundary", i),
-                weight=-self._graph.event_boundary_distance(events[i]),
+            row = distance[i]
+            edges.extend(
+                (("event", i), ("event", j), -row[j]) for j in range(i + 1, num)
             )
-            for j in range(i + 1, num):
-                graph.add_edge(
-                    ("event", i),
-                    ("event", j),
-                    weight=-self._graph.event_distance(events[i], events[j]),
-                )
-                graph.add_edge(("boundary", i), ("boundary", j), weight=0)
+        graph = nx.Graph()
+        graph.add_weighted_edges_from(edges)
+        graph.add_weighted_edges_from(self._boundary_clique_edges(num))
 
         matching = nx.max_weight_matching(graph, maxcardinality=True)
         matched_nodes = {node for pair in matching for node in pair}

@@ -60,6 +60,90 @@ class NoiseModel(abc.ABC):
             rng.random(code.num_ancillas_of_type(stype)) < self.measurement_error_rate
         ).astype(np.uint8)
 
+    # ------------------------------------------------------------------
+    # Batched sampling (the Monte-Carlo engines' hot path)
+    # ------------------------------------------------------------------
+    def sample_data_matrix(
+        self,
+        code: RotatedSurfaceCode,
+        num_samples: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Binary matrix of fresh data errors, shape ``(num_samples, num_data_qubits)``.
+
+        Row ``i`` is distributed identically to :meth:`sample_data_vector`;
+        the whole matrix costs a single RNG call.
+        """
+        return (
+            rng.random((num_samples, code.num_data_qubits)) < self.data_error_rate
+        ).astype(np.uint8)
+
+    def sample_measurement_matrix(
+        self,
+        code: RotatedSurfaceCode,
+        stype: StabilizerType,
+        num_samples: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Binary matrix of measurement flips, shape ``(num_samples, num_ancillas)``."""
+        return (
+            rng.random((num_samples, code.num_ancillas_of_type(stype)))
+            < self.measurement_error_rate
+        ).astype(np.uint8)
+
+    def sample_history(
+        self,
+        code: RotatedSurfaceCode,
+        stype: StabilizerType,
+        trials: int,
+        rounds: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample full error histories for a batch of memory-experiment trials.
+
+        Returns ``(data_errors, measurement_flips)`` with shapes
+        ``(trials, rounds, num_data_qubits)`` and
+        ``(trials, rounds, num_ancillas)``.
+
+        Stream-compatibility contract: the single underlying RNG call consumes
+        the generator exactly as ``trials * rounds`` sequential
+        :meth:`sample_data_vector` / :meth:`sample_measurement_vector` call
+        pairs would (numpy generators fill arrays from the bit stream in C
+        order), so batched and per-round sampling of the same seed produce
+        bit-identical error histories.  The engine-equivalence guarantee of
+        :mod:`repro.simulation.batch` rests on this.
+        """
+        num_data = code.num_data_qubits
+        num_ancillas = code.num_ancillas_of_type(stype)
+        if (
+            type(self).sample_data_vector is not NoiseModel.sample_data_vector
+            or type(self).sample_measurement_vector
+            is not NoiseModel.sample_measurement_vector
+        ):
+            # A subclass customises per-vector sampling (correlated noise,
+            # biased channels, ...).  Honour its physics — and the exact RNG
+            # stream the loop engine would consume — by sampling round by
+            # round; the batch engine keeps its decode-side vectorisation.
+            data_errors = np.empty((trials, rounds, num_data), dtype=np.uint8)
+            measurement_flips = np.empty(
+                (trials, rounds, num_ancillas), dtype=np.uint8
+            )
+            for trial in range(trials):
+                for round_index in range(rounds):
+                    data_errors[trial, round_index] = self.sample_data_vector(
+                        code, rng
+                    )
+                    measurement_flips[trial, round_index] = (
+                        self.sample_measurement_vector(code, stype, rng)
+                    )
+            return data_errors, measurement_flips
+        uniform = rng.random((trials, rounds, num_data + num_ancillas))
+        data_errors = (uniform[..., :num_data] < self.data_error_rate).astype(np.uint8)
+        measurement_flips = (
+            uniform[..., num_data:] < self.measurement_error_rate
+        ).astype(np.uint8)
+        return data_errors, measurement_flips
+
     def sample_cycle(
         self,
         code: RotatedSurfaceCode,

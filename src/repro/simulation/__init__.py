@@ -1,5 +1,6 @@
 """Monte-Carlo simulation harnesses (Section 6.1 of the paper)."""
 
+from repro.simulation.batch import run_memory_experiment_batch
 from repro.simulation.coverage import CoverageResult, simulate_clique_coverage
 from repro.simulation.cycles import (
     sample_cycle_signatures,
@@ -17,5 +18,6 @@ __all__ = [
     "simulate_clique_coverage",
     "MemoryExperimentResult",
     "run_memory_experiment",
+    "run_memory_experiment_batch",
     "wilson_interval",
 ]

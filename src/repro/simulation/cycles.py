@@ -40,12 +40,9 @@ def sample_cycle_signatures(
     generator = make_rng(rng)
     parity_check = code.parity_check(stype).astype(np.int64)
 
-    data_errors = (
-        generator.random((num_cycles, code.num_data_qubits)) < noise.data_error_rate
-    ).astype(np.int64)
-    measurement_flips = (
-        generator.random((num_cycles, code.num_ancillas_of_type(stype)))
-        < noise.measurement_error_rate
+    data_errors = noise.sample_data_matrix(code, num_cycles, generator).astype(np.int64)
+    measurement_flips = noise.sample_measurement_matrix(
+        code, stype, num_cycles, generator
     ).astype(np.int64)
 
     data_touches = data_errors @ parity_check.T

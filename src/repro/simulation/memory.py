@@ -14,6 +14,12 @@ convention that lets every detection event be matched):
 
 The same harness runs the MWPM baseline and the Clique+MWPM hierarchy, which
 is exactly the comparison in Fig. 14.
+
+Two engines share this harness's contract: the per-trial ``loop`` engine
+below (the correctness oracle) and the vectorised ``batch`` engine of
+:mod:`repro.simulation.batch` (the default), selected with the ``engine``
+argument of :func:`run_memory_experiment`.  They are bit-identical under a
+fixed seed.
 """
 
 from __future__ import annotations
@@ -105,6 +111,7 @@ def run_memory_experiment(
     stype: StabilizerType = StabilizerType.X,
     rng: np.random.Generator | int | None = None,
     decoder_name: str | None = None,
+    engine: str = "batch",
 ) -> MemoryExperimentResult:
     """Estimate the logical error rate of a decoder with Monte-Carlo trials.
 
@@ -120,7 +127,29 @@ def run_memory_experiment(
         stype: which error species to track (the other is symmetric).
         rng: seed or generator.
         decoder_name: label for reports (defaults to the class name).
+        engine: ``"batch"`` (default) runs the vectorised engine of
+            :mod:`repro.simulation.batch`; ``"loop"`` runs the per-trial
+            reference path.  Both produce bit-identical results under the
+            same seed — the loop engine is kept as the correctness oracle.
     """
+    if engine == "batch":
+        # Imported lazily to avoid a circular import (batch.py builds this
+        # module's MemoryExperimentResult).
+        from repro.simulation.batch import run_memory_experiment_batch
+
+        return run_memory_experiment_batch(
+            code,
+            noise,
+            decoder_factory,
+            trials=trials,
+            rounds=rounds,
+            stype=stype,
+            rng=rng,
+            decoder_name=decoder_name,
+        )
+    if engine != "loop":
+        raise ConfigurationError(f"engine must be 'batch' or 'loop', got {engine!r}")
+
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")
     if rounds is None:

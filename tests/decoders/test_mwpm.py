@@ -108,6 +108,47 @@ class TestSpaceTimeDecoding:
             assert not code_d5.syndrome_of(residual_set, StabilizerType.X).any()
 
 
+class TestSmallCaseSolver:
+    def test_subset_dp_matches_blossom_weight(self, mwpm_d5, code_d5, rng):
+        # The exact small-case DP must find the same minimum total distance as
+        # the blossom auxiliary-graph path for every event count it handles.
+        import numpy as np
+
+        from repro.decoders.matching_graph import SpaceTimeEvent
+
+        graph = mwpm_d5.matching_graph
+        width = code_d5.num_ancillas_of_type(StabilizerType.X)
+
+        def total_weight(pairs, boundary_matches):
+            return sum(
+                graph.event_distance(a, b) for a, b in pairs
+            ) + sum(graph.event_boundary_distance(e) for e in boundary_matches)
+
+        for _ in range(60):
+            num = int(rng.integers(1, MWPMDecoder._SMALL_CASE_LIMIT + 1))
+            cells = rng.choice(5 * width, size=num, replace=False)
+            events = sorted(
+                SpaceTimeEvent(round=int(c // width), ancilla_index=int(c % width))
+                for c in cells
+            )
+            ancilla = np.array([e.ancilla_index for e in events])
+            rounds = np.array([e.round for e in events])
+            distance = (
+                graph.spatial_distance_matrix[np.ix_(ancilla, ancilla)]
+                + np.abs(rounds[:, None] - rounds[None, :])
+            ).tolist()
+            boundary = graph.boundary_distance_array[ancilla].tolist()
+            dp_weight = total_weight(*mwpm_d5._match_small(events, distance, boundary))
+
+            limit = MWPMDecoder._SMALL_CASE_LIMIT
+            MWPMDecoder._SMALL_CASE_LIMIT = 0
+            try:
+                blossom_weight = total_weight(*mwpm_d5._match(events))
+            finally:
+                MWPMDecoder._SMALL_CASE_LIMIT = limit
+            assert dp_weight == blossom_weight
+
+
 class TestLogicalPerformance:
     def test_higher_distance_suppresses_code_capacity_errors(self):
         # Under code-capacity noise (perfect measurements, single round) the
