@@ -1,9 +1,17 @@
-"""Perf smoke: trials/sec of the batch vs loop Monte-Carlo engines.
+"""Perf smoke: trials/sec of the loop, batch, and sharded Monte-Carlo engines.
 
-Times the Fig. 14 gate workload (d=5, p=1e-2, 1000 trials, Clique+MWPM) on
-both engines, asserts the batch engine's >= 5x advantage, and appends a
-timestamped record to ``BENCH_memory.json`` at the repo root so the speedup
-trajectory is tracked across PRs.
+Times the Fig. 14 gate workloads and appends one schema-versioned record to
+``BENCH_memory.json`` at the repo root so the throughput trajectory is
+tracked across PRs:
+
+* ``engines`` — d=5, p=1e-2, 1000 trials on all three engines (loop / batch /
+  sharded), asserting the batch engine's >= 5x advantage over the loop and
+  the sharded engine's bit-determinism across worker counts;
+* ``fallbacks`` — the same workload through the hierarchy's two off-chip
+  fallbacks (MWPM vs union-find clustering);
+* ``paper_workload`` — d=7, p=1e-2, 4000 trials, batch vs sharded: the
+  sharded engine must be >= 3x faster on a multi-core runner (>= 4 CPUs) and
+  must not regress below the batch engine at ``workers=1``.
 
 The run is deliberately kept out of the tier-1 fast path: set
 ``REPRO_PERF_SMOKE=1`` to enable it, e.g.
@@ -28,11 +36,21 @@ from repro.simulation.memory import run_memory_experiment
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_memory.json"
 
+SCHEMA_VERSION = 2
 DISTANCE = 5
 ERROR_RATE = 1e-2
 TRIALS = 1_000
 SEED = 2026
-MIN_SPEEDUP = 5.0
+MIN_BATCH_SPEEDUP = 5.0
+
+PAPER_DISTANCE = 7
+PAPER_TRIALS = 4_000
+#: The >= 3x sharded-over-batch assertion only makes sense with real cores.
+MULTI_CORE_THRESHOLD = 4
+MIN_SHARDED_SPEEDUP = 3.0
+#: At workers=1 the sharded engine is the batch engine plus shard plumbing;
+#: allow bounded overhead but fail on a real regression.
+MAX_SINGLE_WORKER_OVERHEAD = 2.0
 
 pytestmark = pytest.mark.skipif(
     os.environ.get("REPRO_PERF_SMOKE") != "1",
@@ -40,44 +58,74 @@ pytestmark = pytest.mark.skipif(
 )
 
 
-def _hierarchical(code, stype):
-    return HierarchicalDecoder(code, stype)
+class _Hierarchical:
+    """Picklable factory (sharded workers rebuild the decoder per shard)."""
+
+    def __init__(self, fallback: str = "mwpm") -> None:
+        self.fallback = fallback
+
+    def __call__(self, code, stype):
+        return HierarchicalDecoder(code, stype, fallback=self.fallback)
 
 
-def _time_engine(engine: str) -> dict:
-    code = get_code(DISTANCE)
+def _time_run(distance: int, trials: int, engine: str, **kwargs) -> dict:
+    code = get_code(distance)
     noise = PhenomenologicalNoise(ERROR_RATE)
+    factory = kwargs.pop("factory", None) or _Hierarchical()
     start = time.perf_counter()
     result = run_memory_experiment(
-        code, noise, _hierarchical, trials=TRIALS, rng=SEED, engine=engine
+        code, noise, factory, trials=trials, rng=SEED, engine=engine, **kwargs
     )
     elapsed = time.perf_counter() - start
-    return {
+    run = {
         "engine": engine,
         "seconds": round(elapsed, 4),
-        "trials_per_sec": round(TRIALS / elapsed, 1),
+        "trials_per_sec": round(trials / elapsed, 1),
         "logical_failures": result.logical_failures,
         "onchip_round_fraction": round(result.onchip_round_fraction, 4),
     }
+    if engine == "sharded":
+        run["workers"] = kwargs.get("workers") or (os.cpu_count() or 1)
+    return run
 
 
-def test_batch_engine_speedup_and_bench_record():
+def test_engine_and_fallback_throughput_bench_record():
     # Warm-up outside the timers: lattice/matching-graph construction is
     # shared one-time cost, not engine throughput.
-    run_memory_experiment(
-        get_code(DISTANCE),
-        PhenomenologicalNoise(ERROR_RATE),
-        _hierarchical,
-        trials=10,
-        rng=1,
-    )
+    for distance in (DISTANCE, PAPER_DISTANCE):
+        run_memory_experiment(
+            get_code(distance),
+            PhenomenologicalNoise(ERROR_RATE),
+            _Hierarchical(),
+            trials=10,
+            rng=1,
+        )
 
-    loop_run = _time_engine("loop")
-    batch_run = _time_engine("batch")
-    speedup = batch_run["trials_per_sec"] / loop_run["trials_per_sec"]
+    cpu_count = os.cpu_count() or 1
+
+    # --- engines: d=5 gate workload on loop / batch / sharded -------------
+    loop_run = _time_run(DISTANCE, TRIALS, "loop")
+    batch_run = _time_run(DISTANCE, TRIALS, "batch")
+    sharded_run = _time_run(DISTANCE, TRIALS, "sharded")
+    batch_speedup = batch_run["trials_per_sec"] / loop_run["trials_per_sec"]
+
+    # --- fallbacks: MWPM vs union-find through the batch engine -----------
+    fallback_runs = []
+    for fallback in ("mwpm", "union_find"):
+        run = _time_run(DISTANCE, TRIALS, "batch", factory=_Hierarchical(fallback))
+        run["fallback"] = fallback
+        fallback_runs.append(run)
+
+    # --- paper workload: d=7, 4000 trials, batch vs sharded ---------------
+    paper_batch = _time_run(PAPER_DISTANCE, PAPER_TRIALS, "batch")
+    paper_sharded = _time_run(PAPER_DISTANCE, PAPER_TRIALS, "sharded")
+    paper_single = _time_run(PAPER_DISTANCE, PAPER_TRIALS, "sharded", workers=1)
+    sharded_speedup = paper_sharded["trials_per_sec"] / paper_batch["trials_per_sec"]
 
     record = {
+        "schema_version": SCHEMA_VERSION,
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": cpu_count,
         "workload": {
             "experiment": "memory",
             "decoder": "Clique+MWPM",
@@ -86,8 +134,17 @@ def test_batch_engine_speedup_and_bench_record():
             "trials": TRIALS,
             "seed": SEED,
         },
-        "runs": [loop_run, batch_run],
-        "speedup": round(speedup, 2),
+        "engines": [loop_run, batch_run, sharded_run],
+        "fallbacks": fallback_runs,
+        "paper_workload": {
+            "distance": PAPER_DISTANCE,
+            "error_rate": ERROR_RATE,
+            "trials": PAPER_TRIALS,
+            "seed": SEED,
+            "runs": [paper_batch, paper_sharded, paper_single],
+            "sharded_speedup": round(sharded_speedup, 2),
+        },
+        "batch_speedup": round(batch_speedup, 2),
     }
     history = []
     if BENCH_PATH.exists():
@@ -95,8 +152,30 @@ def test_batch_engine_speedup_and_bench_record():
     history.append(record)
     BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
 
-    # The engines must agree bit for bit on the identical seeded workload...
+    # Loop and batch must agree bit for bit on the identical seeded workload;
+    # the sharded engine follows its own per-shard streams but must be
+    # deterministic, which the repeat run below pins.
     assert batch_run["logical_failures"] == loop_run["logical_failures"]
     assert batch_run["onchip_round_fraction"] == loop_run["onchip_round_fraction"]
-    # ...and the batch engine must hold its throughput advantage.
-    assert speedup >= MIN_SPEEDUP, f"batch engine speedup regressed: {speedup:.1f}x"
+    sharded_repeat = _time_run(DISTANCE, TRIALS, "sharded", workers=1)
+    assert sharded_repeat["logical_failures"] == sharded_run["logical_failures"]
+
+    # Both fallbacks decode the same seeded histories through the same
+    # engine; their on-chip fractions are triage-side and must match.
+    assert (
+        fallback_runs[0]["onchip_round_fraction"]
+        == fallback_runs[1]["onchip_round_fraction"]
+    )
+
+    # Throughput gates.
+    assert batch_speedup >= MIN_BATCH_SPEEDUP, (
+        f"batch engine speedup regressed: {batch_speedup:.1f}x"
+    )
+    single_ratio = paper_batch["trials_per_sec"] / paper_single["trials_per_sec"]
+    assert single_ratio <= MAX_SINGLE_WORKER_OVERHEAD, (
+        f"sharded workers=1 regressed {single_ratio:.1f}x below the batch engine"
+    )
+    if cpu_count >= MULTI_CORE_THRESHOLD:
+        assert sharded_speedup >= MIN_SHARDED_SPEEDUP, (
+            f"sharded speedup regressed on {cpu_count} cores: {sharded_speedup:.1f}x"
+        )

@@ -5,13 +5,19 @@ Examples:
     repro-qec run fig11 --param cycles=5000 --param seed=7
     repro-qec run fig15
     repro-qec run fig14 --engine loop --param trials=200
+    repro-qec run fig14 --scale paper --workers 8
+    repro-qec run fig14 --fallback union_find
+    repro-qec run fig14_fallbacks --param trials=300
 
 ``--engine`` selects the Monte-Carlo engine for memory experiments (fig14):
 ``batch`` (the default inside the library) vectorises trial triage — all
 noise sampling, syndrome computation, and trivial-round decoding run as
-whole-batch array operations — while ``loop`` runs the per-trial reference
-path kept as the correctness oracle.  Both engines are bit-identical under a
-fixed seed.
+whole-batch array operations — ``loop`` runs the per-trial reference path
+kept as the correctness oracle (bit-identical to batch under a fixed seed),
+and ``sharded`` fans fixed-size trial shards over worker processes
+(``--workers``), deterministic per seed independent of the worker count.
+``--scale paper`` extends fig14 to the paper's d=3–11 grid with per-distance
+trial budgets; ``--fallback`` picks the hierarchy's off-chip decoder.
 """
 
 from __future__ import annotations
@@ -70,12 +76,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--engine",
-        choices=("batch", "loop"),
+        choices=("batch", "loop", "sharded"),
         default=None,
         help=(
             "Monte-Carlo engine for memory experiments (fig14): 'batch' "
             "vectorises trial triage (default), 'loop' is the per-trial "
-            "reference oracle; both are bit-identical under a fixed seed"
+            "reference oracle (bit-identical to batch under a fixed seed), "
+            "'sharded' spreads trial shards over worker processes "
+            "(deterministic per seed, independent of --workers)"
+        ),
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --engine sharded (default: CPU count)",
+    )
+    run_parser.add_argument(
+        "--fallback",
+        choices=("mwpm", "union_find"),
+        default=None,
+        help=(
+            "off-chip fallback for the Clique hierarchy (fig14/fig14_fallbacks): "
+            "'mwpm' (blossom, default) or 'union_find' (near-linear clustering)"
+        ),
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=("laptop", "paper"),
+        default=None,
+        help=(
+            "fig14 sweep scale: 'laptop' (d=3-7, flat budget, default) or "
+            "'paper' (d=3-11 with per-distance trial budgets, sharded engine)"
         ),
     )
     return parser
@@ -93,8 +126,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "run":
         params = dict(args.param)
-        if args.engine is not None:
-            params["engine"] = args.engine
+        for flag in ("engine", "workers", "fallback", "scale"):
+            value = getattr(args, flag)
+            if value is not None:
+                params[flag] = value
         try:
             result = run_experiment(args.experiment, **params)
         except (ReproError, TypeError, ValueError) as error:

@@ -27,7 +27,15 @@ from repro.clique.measurement_filter import PersistenceFilter
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.decoders.base import BatchDecodeResult, Decoder, DecodeResult
 from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import ClusteringDecoder
+from repro.exceptions import ConfigurationError
 from repro.types import Coord, DecodeLocation, StabilizerType
+
+#: Named off-chip fallbacks selectable with ``HierarchicalDecoder(fallback=...)``.
+FALLBACK_DECODERS = {
+    "mwpm": MWPMDecoder,
+    "union_find": ClusteringDecoder,
+}
 
 
 @dataclass(frozen=True)
@@ -71,8 +79,11 @@ class HierarchicalDecoder(Decoder):
     Args:
         code: the surface code instance.
         stype: stabilizer type to decode.
-        fallback: the off-chip complex decoder; defaults to a fresh
-            :class:`~repro.decoders.mwpm.MWPMDecoder`.
+        fallback: the off-chip complex decoder — a ready-made
+            :class:`~repro.decoders.base.Decoder` instance, or one of the
+            names in :data:`FALLBACK_DECODERS` (``"mwpm"`` for the blossom
+            baseline, ``"union_find"`` for the near-linear clustering
+            decoder).  Defaults to a fresh MWPM decoder.
         measurement_rounds: window size of the Clique persistence filter
             (2 in the paper's primary design).
     """
@@ -81,12 +92,22 @@ class HierarchicalDecoder(Decoder):
         self,
         code: RotatedSurfaceCode,
         stype: StabilizerType,
-        fallback: Decoder | None = None,
+        fallback: Decoder | str | None = None,
         measurement_rounds: int = 2,
     ) -> None:
         super().__init__(code, stype)
         self._clique = CliqueDecoder(code, stype)
-        self._fallback = fallback or MWPMDecoder(code, stype)
+        if fallback is None:
+            fallback = "mwpm"
+        if isinstance(fallback, str):
+            try:
+                fallback = FALLBACK_DECODERS[fallback](code, stype)
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown fallback {fallback!r}; expected one of "
+                    f"{sorted(FALLBACK_DECODERS)} or a Decoder instance"
+                ) from None
+        self._fallback = fallback
         self._filter = PersistenceFilter(measurement_rounds)
 
     @property
@@ -211,17 +232,50 @@ class HierarchicalDecoder(Decoder):
             # Both branches consume everything visible this round.
             consumed[:, round_index] |= visible
 
-        data_index = self._code.data_index
-        for trial in np.flatnonzero(offchip_round_counts):
-            fallback_result = self._fallback.decode(offchip_mask[trial])
-            for qubit in fallback_result.correction:
-                corrections[trial, data_index[qubit]] ^= 1
+        offchip_trials = np.flatnonzero(offchip_round_counts)
+        if offchip_trials.size:
+            corrections[offchip_trials] ^= self._offchip_corrections(
+                offchip_mask[offchip_trials]
+            )
 
         return BatchDecodeResult(
             corrections=corrections,
             onchip_rounds=num_rounds - offchip_round_counts,
             total_rounds=np.full(trials, num_rounds, dtype=np.int64),
         )
+
+    # ------------------------------------------------------------------
+    def _offchip_corrections(self, masks: np.ndarray) -> np.ndarray:
+        """Batched fallback decode of the off-chip trials' detection masks.
+
+        Fallbacks exposing ``decode_events_bitmap`` (MWPM, clustering) get the
+        fast path: one ``np.nonzero`` pass over the stacked masks yields every
+        off-chip trial's event list at once — in the same row-major
+        ``(round, ancilla)`` order a per-trial ``np.nonzero`` would produce,
+        which keeps equal-weight tie-breaks, and therefore results,
+        bit-identical to per-trial decoding.  Generic decoders fall back to a
+        per-trial :meth:`~repro.decoders.base.Decoder.decode` loop.
+        """
+        num_trials = masks.shape[0]
+        corrections = np.zeros((num_trials, self._code.num_data_qubits), dtype=np.uint8)
+        decode_events = getattr(self._fallback, "decode_events_bitmap", None)
+        if decode_events is None:
+            data_index = self._code.data_index
+            for trial in range(num_trials):
+                for qubit in self._fallback.decode(masks[trial]).correction:
+                    corrections[trial, data_index[qubit]] ^= 1
+            return corrections
+
+        trial_ids, rounds, ancillas = np.nonzero(masks)
+        bounds = np.searchsorted(trial_ids, np.arange(num_trials + 1))
+        for trial in range(num_trials):
+            start, end = bounds[trial], bounds[trial + 1]
+            if start == end:
+                continue
+            corrections[trial] = decode_events(
+                rounds[start:end], ancillas[start:end]
+            )
+        return corrections
 
     # ------------------------------------------------------------------
     def decode(self, detections: np.ndarray) -> DecodeResult:
@@ -238,4 +292,4 @@ class HierarchicalDecoder(Decoder):
         )
 
 
-__all__ = ["HierarchicalDecoder", "HierarchicalResult"]
+__all__ = ["FALLBACK_DECODERS", "HierarchicalDecoder", "HierarchicalResult"]

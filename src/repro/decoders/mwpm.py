@@ -32,7 +32,7 @@ from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.decoders.base import Decoder, DecodeResult
 from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
 from repro.exceptions import DecodingError
-from repro.types import Coord, StabilizerType
+from repro.types import StabilizerType
 
 
 class MWPMDecoder(Decoder):
@@ -64,46 +64,92 @@ class MWPMDecoder(Decoder):
     # ------------------------------------------------------------------
     def decode(self, detections: np.ndarray) -> DecodeResult:
         matrix = self._as_detection_matrix(detections)
-        events = [
-            SpaceTimeEvent(round=int(r), ancilla_index=int(a))
-            for r, a in zip(*np.nonzero(matrix))
-        ]
-        if not events:
+        rounds, ancillas = np.nonzero(matrix)
+        if rounds.size == 0:
             return DecodeResult(correction=frozenset(), metadata={"num_events": 0})
-        pairs, boundary_matches = self._match(events)
-        correction: set[Coord] = set()
-        for event_a, event_b in pairs:
-            correction ^= self._graph.correction_between(event_a, event_b)
-        for event in boundary_matches:
-            correction ^= self._graph.correction_to_boundary(event)
+        ancillas = ancillas.astype(np.int64)
+        pairs, boundary_matches = self._match_indices(ancillas, rounds.astype(np.int64))
+        bitmap = self._assemble_bitmap(ancillas, pairs, boundary_matches)
+        data_qubits = self._code.data_qubits
         return DecodeResult(
-            correction=frozenset(correction),
+            correction=frozenset(data_qubits[i] for i in np.flatnonzero(bitmap)),
             metadata={
-                "num_events": len(events),
+                "num_events": int(rounds.size),
                 "num_pairs": len(pairs),
                 "num_boundary_matches": len(boundary_matches),
             },
         )
+
+    def decode_events_bitmap(self, rounds: np.ndarray, ancillas: np.ndarray) -> np.ndarray:
+        """Decode one trial's detection events given as flat index arrays.
+
+        This is the batched-fallback entry point used by
+        :meth:`repro.clique.hierarchical.HierarchicalDecoder.decode_batch`:
+        the caller extracts all off-chip trials' events with a single
+        ``np.nonzero`` pass and hands each trial's ``(rounds, ancillas)``
+        slice here, skipping per-trial matrix validation, ``SpaceTimeEvent``
+        construction, and coordinate-set assembly.  Events must arrive in
+        row-major ``(round, ancilla)`` order — the order ``np.nonzero``
+        produces — so that equal-weight ties break exactly as they do in
+        :meth:`decode`; the returned uint8 bitmap (``code.data_index`` column
+        order) is then bit-identical to the per-trial path.
+        """
+        ancillas = np.asarray(ancillas, dtype=np.int64)
+        if ancillas.size == 0:
+            return np.zeros(self._code.num_data_qubits, dtype=np.uint8)
+        pairs, boundary_matches = self._match_indices(
+            ancillas, np.asarray(rounds, dtype=np.int64)
+        )
+        return self._assemble_bitmap(ancillas, pairs, boundary_matches)
+
+    def _assemble_bitmap(
+        self,
+        ancillas: np.ndarray,
+        pairs: list[tuple[int, int]],
+        boundary_matches: list[int],
+    ) -> np.ndarray:
+        """XOR the matched chains' correction paths into a data-qubit bitmap."""
+        bitmap = np.zeros(self._code.num_data_qubits, dtype=np.uint8)
+        data_index = self._code.data_index
+        for i, j in pairs:
+            for qubit in self._graph.spatial_path(int(ancillas[i]), int(ancillas[j])):
+                bitmap[data_index[qubit]] ^= 1
+        for i in boundary_matches:
+            for qubit in self._graph.boundary_path(int(ancillas[i])):
+                bitmap[data_index[qubit]] ^= 1
+        return bitmap
 
     # ------------------------------------------------------------------
     #: Largest event count routed to the exact subset-DP solver; beyond it the
     #: O(2^n n) DP loses to blossom's polynomial scaling.
     _SMALL_CASE_LIMIT = 8
 
+    #: Largest number of distinct event counts whose boundary-clique edge
+    #: lists are retained; rarer counts are rebuilt on demand so the cache
+    #: cannot grow unboundedly over a long sharded run.
+    _BOUNDARY_CLIQUE_CACHE_LIMIT = 16
+
     def _match_small(
         self,
-        events: list[SpaceTimeEvent],
         distance: list[list[int]],
         boundary_distance: list[int],
-    ) -> tuple[list[tuple[SpaceTimeEvent, SpaceTimeEvent]], list[SpaceTimeEvent]]:
+    ) -> tuple[list[tuple[int, int]], list[int]]:
         """Exact minimum-total-distance assignment by DP over event subsets.
 
         ``best[mask]`` is the cheapest way to resolve the event subset
         ``mask``, where every event is either paired with another event in the
         subset or matched to the boundary — the same solution space the
-        auxiliary matching graph encodes.
+        auxiliary matching graph encodes.  Returns ``(pairs, boundary)`` as
+        event *indices* into the caller's arrays.
+
+        Ties are broken deterministically: candidates are scanned in a fixed
+        order (the boundary first, then partners by ascending index) and only
+        a strictly cheaper candidate displaces the incumbent.  Even the
+        pathological all-zero-distance case therefore yields one canonical
+        assignment — every event to the boundary — so sharded and unsharded
+        runs can never diverge on equal-weight choices.
         """
-        num = len(events)
+        num = len(boundary_distance)
         full = (1 << num) - 1
         best = [0] * (full + 1)
         choice: list[tuple[int, int]] = [(-1, -1)] * (full + 1)
@@ -124,60 +170,59 @@ class MWPMDecoder(Decoder):
             best[mask] = best_cost
             choice[mask] = best_choice
 
-        pairs: list[tuple[SpaceTimeEvent, SpaceTimeEvent]] = []
-        boundary_matches: list[SpaceTimeEvent] = []
+        pairs: list[tuple[int, int]] = []
+        boundary_matches: list[int] = []
         mask = full
         while mask:
             event, partner = choice[mask]
             if partner == -1:
-                boundary_matches.append(events[event])
+                boundary_matches.append(event)
                 mask ^= 1 << event
             else:
-                pairs.append((events[event], events[partner]))
+                pairs.append((event, partner))
                 mask ^= (1 << event) | (1 << partner)
         return pairs, boundary_matches
 
     def _boundary_clique_edges(self, num: int) -> list:
-        """Cached zero-weight clique among the ``num`` boundary copies."""
+        """Zero-weight clique among the ``num`` boundary copies (nodes
+        ``num .. 2 * num - 1``), cached for the most common event counts."""
         edges = self._boundary_clique_cache.get(num)
         if edges is None:
             edges = [
-                (("boundary", i), ("boundary", j), 0)
+                (num + i, num + j, 0)
                 for i in range(num)
                 for j in range(i + 1, num)
             ]
-            self._boundary_clique_cache[num] = edges
+            if len(self._boundary_clique_cache) < self._BOUNDARY_CLIQUE_CACHE_LIMIT:
+                self._boundary_clique_cache[num] = edges
         return edges
 
-    def _match(
-        self, events: list[SpaceTimeEvent]
-    ) -> tuple[list[tuple[SpaceTimeEvent, SpaceTimeEvent]], list[SpaceTimeEvent]]:
-        """Solve the auxiliary matching problem for a list of detection events."""
-        num = len(events)
-        ancilla = np.fromiter(
-            (event.ancilla_index for event in events), dtype=np.int64, count=num
-        )
-        rounds = np.fromiter(
-            (event.round for event in events), dtype=np.int64, count=num
-        )
+    def _match_indices(
+        self, ancillas: np.ndarray, rounds: np.ndarray
+    ) -> tuple[list[tuple[int, int]], list[int]]:
+        """Solve the auxiliary matching problem on flat event-index arrays.
+
+        Both decode entry points (per-trial :meth:`decode` and the batched
+        :meth:`decode_events_bitmap`) funnel through here, which is what
+        guarantees their bit-identity on equal-weight ties.
+        """
+        num = int(ancillas.size)
         # All pairwise space-time distances in two vectorised gathers.
         distance = (
-            self._graph.spatial_distance_matrix[np.ix_(ancilla, ancilla)]
+            self._graph.spatial_distance_matrix[np.ix_(ancillas, ancillas)]
             + np.abs(rounds[:, None] - rounds[None, :])
         ).tolist()
-        boundary_distance = self._graph.boundary_distance_array[ancilla].tolist()
+        boundary_distance = self._graph.boundary_distance_array[ancillas].tolist()
 
         if num <= self._SMALL_CASE_LIMIT:
-            return self._match_small(events, distance, boundary_distance)
+            return self._match_small(distance, boundary_distance)
 
-        edges = [
-            (("event", i), ("boundary", i), -boundary_distance[i]) for i in range(num)
-        ]
+        # Auxiliary blossom graph on integer nodes: event ``i`` is node ``i``,
+        # its boundary copy is node ``num + i``.
+        edges = [(i, num + i, -boundary_distance[i]) for i in range(num)]
         for i in range(num):
             row = distance[i]
-            edges.extend(
-                (("event", i), ("event", j), -row[j]) for j in range(i + 1, num)
-            )
+            edges.extend((i, j, -row[j]) for j in range(i + 1, num))
         graph = nx.Graph()
         graph.add_weighted_edges_from(edges)
         graph.add_weighted_edges_from(self._boundary_clique_edges(num))
@@ -189,19 +234,34 @@ class MWPMDecoder(Decoder):
                 f"matching is not perfect: {len(matched_nodes)} of {2 * num} nodes matched"
             )
 
-        pairs: list[tuple[SpaceTimeEvent, SpaceTimeEvent]] = []
-        boundary_matches: list[SpaceTimeEvent] = []
+        pairs: list[tuple[int, int]] = []
+        boundary_matches: list[int] = []
         for node_a, node_b in matching:
-            kind_a, idx_a = node_a
-            kind_b, idx_b = node_b
-            if kind_a == "event" and kind_b == "event":
-                pairs.append((events[idx_a], events[idx_b]))
-            elif kind_a == "event" and kind_b == "boundary":
-                boundary_matches.append(events[idx_a])
-            elif kind_b == "event" and kind_a == "boundary":
-                boundary_matches.append(events[idx_b])
+            if node_a < num and node_b < num:
+                pairs.append((node_a, node_b))
+            elif node_a < num <= node_b:
+                boundary_matches.append(node_a)
+            elif node_b < num <= node_a:
+                boundary_matches.append(node_b)
             # boundary-boundary pairs need no correction
         return pairs, boundary_matches
+
+    def _match(
+        self, events: list[SpaceTimeEvent]
+    ) -> tuple[list[tuple[SpaceTimeEvent, SpaceTimeEvent]], list[SpaceTimeEvent]]:
+        """Object-level wrapper around :meth:`_match_indices`."""
+        num = len(events)
+        ancillas = np.fromiter(
+            (event.ancilla_index for event in events), dtype=np.int64, count=num
+        )
+        rounds = np.fromiter(
+            (event.round for event in events), dtype=np.int64, count=num
+        )
+        pairs, boundary_matches = self._match_indices(ancillas, rounds)
+        return (
+            [(events[i], events[j]) for i, j in pairs],
+            [events[i] for i in boundary_matches],
+        )
 
 
 __all__ = ["MWPMDecoder"]

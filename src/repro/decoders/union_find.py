@@ -79,21 +79,56 @@ class ClusteringDecoder(Decoder):
             },
         )
 
+    def decode_events_bitmap(self, rounds: np.ndarray, ancillas: np.ndarray) -> np.ndarray:
+        """Decode one trial's detection events given as flat index arrays.
+
+        Batched-fallback entry point (see
+        :meth:`repro.clique.hierarchical.HierarchicalDecoder.decode_batch`).
+        Events must arrive in row-major ``(round, ancilla)`` order — the
+        order ``np.nonzero`` produces — so greedy pairing ties break exactly
+        as in :meth:`decode`; the returned uint8 bitmap is then bit-identical
+        to the per-trial path.
+        """
+        bitmap = np.zeros(self._code.num_data_qubits, dtype=np.uint8)
+        events = [
+            SpaceTimeEvent(round=int(r), ancilla_index=int(a))
+            for r, a in zip(rounds, ancillas)
+        ]
+        if not events:
+            return bitmap
+        clusters, _ = self._grow_clusters(events)
+        data_index = self._code.data_index
+        for members in clusters:
+            for qubit in self._resolve_cluster([events[i] for i in members]):
+                bitmap[data_index[qubit]] ^= 1
+        return bitmap
+
     # ------------------------------------------------------------------
     def _grow_clusters(
         self, events: list[SpaceTimeEvent]
     ) -> tuple[list[list[int]], int]:
-        """Grow clusters until every cluster is even or touches the boundary."""
+        """Grow clusters until every cluster is even or touches the boundary.
+
+        Purely functional: all growth state (radii, distances) is local, so
+        the decoder instance stays stateless and safe to share across
+        threads.  Pair and boundary distances come from the matching graph's
+        dense arrays in two vectorised gathers instead of O(n^2) Python
+        method calls.
+        """
         count = len(events)
         sets = _DisjointSets(count)
         radius = [0] * count  # per-event growth radius; cluster radius is the max
-        pair_distance = [
-            [self._graph.event_distance(events[i], events[j]) for j in range(count)]
-            for i in range(count)
-        ]
-        boundary_distance = [
-            self._graph.event_boundary_distance(events[i]) for i in range(count)
-        ]
+        ancilla = np.fromiter(
+            (event.ancilla_index for event in events), dtype=np.int64, count=count
+        )
+        event_rounds = np.fromiter(
+            (event.round for event in events), dtype=np.int64, count=count
+        )
+        pair_distance = (
+            self._graph.spatial_distance_matrix[np.ix_(ancilla, ancilla)]
+            + np.abs(event_rounds[:, None] - event_rounds[None, :])
+        )
+        boundary_distance = self._graph.boundary_distance_array[ancilla]
 
         def cluster_members() -> dict[int, list[int]]:
             members: dict[int, list[int]] = {}
@@ -127,10 +162,8 @@ class ClusteringDecoder(Decoder):
                 for j in range(i + 1, count):
                     if sets.find(i) == sets.find(j):
                         continue
-                    if pair_distance[i][j] <= radius[i] + radius[j]:
+                    if pair_distance[i, j] <= radius[i] + radius[j]:
                         sets.union(i, j)
-        self._radius = radius
-        self._boundary_distance = boundary_distance
         return list(cluster_members().values()), growth_steps
 
     def _resolve_cluster(self, members: list[SpaceTimeEvent]) -> frozenset[Coord]:

@@ -1,10 +1,28 @@
-"""Fig. 14 — logical error rate of Clique+MWPM vs the MWPM baseline."""
+"""Fig. 14 — logical error rate of Clique+fallback vs the MWPM baseline.
+
+Two scales are supported via ``scale=``:
+
+* ``"laptop"`` (default): distances 3/5/7 with a flat trial budget — the
+  statistical shape (near-identical curves) in seconds.
+* ``"paper"``: the paper's full distance grid 3–11 with per-distance trial
+  budgets and the sharded multiprocess engine by default — the regime where
+  Fig. 14's interesting divergence at d=9/11 lives.
+
+``compare_fallbacks`` (registry id ``fig14_fallbacks``) adds the off-chip
+cost/accuracy trade-off row: the same workload decoded with the MWPM
+fallback and with the near-linear union-find fallback, with throughput
+alongside the logical error rates.
+"""
 
 from __future__ import annotations
+
+import time
+from dataclasses import dataclass
 
 from repro.clique.hierarchical import HierarchicalDecoder
 from repro.codes.rotated_surface import RotatedSurfaceCode, get_code
 from repro.decoders.mwpm import MWPMDecoder
+from repro.exceptions import ConfigurationError
 from repro.experiments.base import ExperimentResult
 from repro.noise.models import PhenomenologicalNoise
 from repro.simulation.memory import run_memory_experiment
@@ -12,65 +30,125 @@ from repro.types import StabilizerType
 
 DEFAULT_DISTANCES = (3, 5, 7)
 DEFAULT_ERROR_RATES = (5e-3, 1e-2, 2e-2, 3e-2)
+DEFAULT_TRIALS = 1_000
+
+#: The paper's full distance grid (Fig. 14 runs d = 3 .. 11).
+PAPER_DISTANCES = (3, 5, 7, 9, 11)
+#: Per-distance trial budgets for ``scale="paper"``: more statistics where
+#: trials are cheap, fewer where the off-chip fallback dominates, keeping the
+#: whole sweep tractable while the curves stay well resolved.
+PAPER_TRIAL_BUDGETS = {3: 20_000, 5: 10_000, 7: 5_000, 9: 2_000, 11: 1_000}
 
 
 def _mwpm_factory(code: RotatedSurfaceCode, stype: StabilizerType) -> MWPMDecoder:
+    """Baseline-decoder factory (module-level, so sharded workers can pickle it)."""
     return MWPMDecoder(code, stype)
 
 
-def _hierarchical_factory(code: RotatedSurfaceCode, stype: StabilizerType) -> HierarchicalDecoder:
-    return HierarchicalDecoder(code, stype)
+@dataclass(frozen=True)
+class _HierarchicalFactory:
+    """Picklable hierarchy factory carrying the off-chip fallback choice."""
+
+    fallback: str = "mwpm"
+
+    def __call__(
+        self, code: RotatedSurfaceCode, stype: StabilizerType
+    ) -> HierarchicalDecoder:
+        return HierarchicalDecoder(code, stype, fallback=self.fallback)
+
+
+def _resolve_scale(
+    scale: str,
+    trials: int | None,
+    distances: tuple[int, ...] | None,
+    engine: str | None,
+) -> tuple[dict[int, int], tuple[int, ...], str]:
+    """Fill in the per-distance trial budgets, distance grid, and engine."""
+    if scale == "laptop":
+        distances = distances or DEFAULT_DISTANCES
+        budget = {
+            d: trials if trials is not None else DEFAULT_TRIALS for d in distances
+        }
+        return budget, distances, engine or "batch"
+    if scale == "paper":
+        distances = distances or PAPER_DISTANCES
+        budget = {
+            d: trials
+            if trials is not None
+            else PAPER_TRIAL_BUDGETS.get(d, DEFAULT_TRIALS)
+            for d in distances
+        }
+        return budget, distances, engine or "sharded"
+    raise ConfigurationError(f"scale must be 'laptop' or 'paper', got {scale!r}")
 
 
 def run(
-    trials: int = 1_000,
+    trials: int | None = None,
     seed: int = 2026,
-    distances: tuple[int, ...] = DEFAULT_DISTANCES,
+    distances: tuple[int, ...] | None = None,
     error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
     rounds: int | None = None,
-    engine: str = "batch",
+    engine: str | None = None,
+    scale: str = "laptop",
+    fallback: str = "mwpm",
+    workers: int | None = None,
 ) -> ExperimentResult:
-    """Reproduce the Fig. 14 comparison (baseline vs Clique + baseline).
+    """Reproduce the Fig. 14 comparison (baseline vs Clique + fallback).
 
-    The paper runs distances 3-11 over a billion cycles; the default here is
-    laptop-scale (the statistical shape — near-identical curves, with at most
-    a marginal gap at larger distances — is what the benchmark asserts).
-
-    ``engine`` selects the Monte-Carlo engine (``"batch"`` vectorised /
-    ``"loop"`` per-trial oracle); both are bit-identical under a fixed seed,
-    so the choice only affects wall-clock time.
+    Args:
+        trials: flat per-point trial budget; ``None`` (default) picks the
+            scale's budget (flat 1000 on laptop, per-distance on paper).
+        seed: root seed; every (distance, rate, decoder) point derives its
+            own stream from it.
+        distances: code distances; ``None`` picks the scale's grid.
+        error_rates: physical error rates swept per distance.
+        rounds: noisy rounds per trial (defaults to the code distance).
+        engine: Monte-Carlo engine (``"batch"``/``"loop"``/``"sharded"``);
+            ``None`` picks batch on laptop scale, sharded on paper scale.
+        scale: ``"laptop"`` (seconds, d<=7) or ``"paper"`` (d=3-11 with
+            per-distance budgets — the Fig. 14 divergence regime).
+        fallback: off-chip fallback for the hierarchy (``"mwpm"`` or
+            ``"union_find"``).
+        workers: worker processes for the sharded engine; rejected with any
+            other engine (a silently ignored value would suggest the run was
+            parallelised when it was not).
     """
+    budget, distances, engine = _resolve_scale(scale, trials, distances, engine)
+    hierarchy_name = "Clique+" + ("UF" if fallback == "union_find" else "MWPM")
     rows = []
     for distance_index, distance in enumerate(distances):
         code = get_code(distance)
         for rate_index, error_rate in enumerate(error_rates):
             noise = PhenomenologicalNoise(error_rate)
             base_seed = seed + 100 * distance_index + rate_index
+            point_trials = budget[distance]
             baseline = run_memory_experiment(
                 code,
                 noise,
                 _mwpm_factory,
-                trials=trials,
+                trials=point_trials,
                 rounds=rounds,
                 rng=base_seed,
                 decoder_name="MWPM",
                 engine=engine,
+                workers=workers,
             )
             hierarchical = run_memory_experiment(
                 code,
                 noise,
-                _hierarchical_factory,
-                trials=trials,
+                _HierarchicalFactory(fallback),
+                trials=point_trials,
                 rounds=rounds,
                 rng=base_seed,
-                decoder_name="Clique+MWPM",
+                decoder_name=hierarchy_name,
                 engine=engine,
+                workers=workers,
             )
             rows.append(
                 {
                     "code_distance": distance,
                     "physical_error_rate": error_rate,
-                    "trials": trials,
+                    "trials": point_trials,
                     "baseline_logical_error_rate": baseline.logical_error_rate,
                     "clique_logical_error_rate": hierarchical.logical_error_rate,
                     "baseline_ci_high": baseline.confidence_interval[1],
@@ -81,14 +159,94 @@ def run(
     notes = (
         "Paper observation: Clique+MWPM tracks the MWPM baseline almost exactly\n"
         "at d=3/5/7 and is marginally worse at d=9/11 because the primary design\n"
-        "only uses two measurement rounds for persistence filtering."
+        "only uses two measurement rounds for persistence filtering.\n"
+        f"(scale={scale}, engine={engine}, fallback={fallback})"
     )
     return ExperimentResult(
         experiment_id="fig14",
-        title="Logical error rate: MWPM baseline vs Clique+MWPM",
+        title=f"Logical error rate: MWPM baseline vs {hierarchy_name}",
         rows=rows,
         notes=notes,
     )
 
 
-__all__ = ["run", "DEFAULT_DISTANCES", "DEFAULT_ERROR_RATES"]
+def compare_fallbacks(
+    trials: int = 600,
+    seed: int = 2026,
+    distances: tuple[int, ...] = (5, 7),
+    error_rate: float = 1e-2,
+    rounds: int | None = None,
+    engine: str = "batch",
+    workers: int | None = None,
+    fallback: str | None = None,
+) -> ExperimentResult:
+    """Accuracy/throughput of the hierarchy's off-chip fallbacks side by side.
+
+    One row per (distance, fallback): the union-find clustering decoder
+    scales near-linearly where blossom is cubic, at some accuracy cost —
+    exactly the d>=9 trade-off the paper's Section 8.1 hierarchy sketch
+    motivates.  Wall-clock throughput is measured around the full memory
+    experiment, so it reflects the fallback's real share of the pipeline.
+
+    ``fallback`` restricts the comparison to a single named fallback (the
+    CLI's ``--fallback`` flag); the default measures both.
+    """
+    if fallback is None:
+        fallbacks = ("mwpm", "union_find")
+    elif fallback in ("mwpm", "union_find"):
+        fallbacks = (fallback,)
+    else:
+        raise ConfigurationError(
+            f"fallback must be 'mwpm' or 'union_find', got {fallback!r}"
+        )
+    rows = []
+    for distance_index, distance in enumerate(distances):
+        code = get_code(distance)
+        noise = PhenomenologicalNoise(error_rate)
+        base_seed = seed + 100 * distance_index
+        for fallback in fallbacks:
+            start = time.perf_counter()
+            result = run_memory_experiment(
+                code,
+                noise,
+                _HierarchicalFactory(fallback),
+                trials=trials,
+                rounds=rounds,
+                rng=base_seed,
+                decoder_name=f"Clique+{fallback}",
+                engine=engine,
+                workers=workers,
+            )
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "code_distance": distance,
+                    "physical_error_rate": error_rate,
+                    "fallback": fallback,
+                    "trials": trials,
+                    "logical_error_rate": result.logical_error_rate,
+                    "ci_high": result.confidence_interval[1],
+                    "onchip_round_fraction": result.onchip_round_fraction,
+                    "trials_per_sec": round(trials / elapsed, 1),
+                }
+            )
+    notes = (
+        "Same seed per distance, so the two fallbacks decode identical error\n"
+        "histories; any logical-error-rate gap is purely the fallback's accuracy."
+    )
+    return ExperimentResult(
+        experiment_id="fig14_fallbacks",
+        title="Off-chip fallback trade-off: MWPM vs union-find",
+        rows=rows,
+        notes=notes,
+    )
+
+
+__all__ = [
+    "run",
+    "compare_fallbacks",
+    "DEFAULT_DISTANCES",
+    "DEFAULT_ERROR_RATES",
+    "PAPER_DISTANCES",
+    "PAPER_TRIAL_BUDGETS",
+]

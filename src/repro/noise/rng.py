@@ -30,4 +30,33 @@ def spawn_rngs(seed: int | None, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
 
 
-__all__ = ["make_rng", "spawn_rngs"]
+def resolve_entropy(seed: int | None) -> int:
+    """Pin ``seed`` down to concrete entropy that can be shipped to workers.
+
+    ``None`` draws fresh OS entropy *once*, so every consumer derived from the
+    returned value (e.g. all shards of one experiment) shares the same root.
+    """
+    if seed is None:
+        entropy = np.random.SeedSequence().entropy
+        assert entropy is not None  # SeedSequence() always draws entropy
+        return int(entropy)
+    return int(seed)
+
+
+def shard_rng(seed: int, shard_index: int) -> np.random.Generator:
+    """Generator for one shard of a sharded Monte-Carlo run.
+
+    The stream depends only on ``(seed, shard_index)`` — it is built from
+    ``SeedSequence(seed, spawn_key=(shard_index,))``, the exact sequence
+    ``SeedSequence(seed).spawn(n)[shard_index]`` would yield for any ``n``
+    — so results are reproducible regardless of how many worker processes
+    the shards are distributed over, or in which order they run.
+    """
+    if shard_index < 0:
+        raise ValueError(f"shard_index must be non-negative, got {shard_index}")
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(shard_index,))
+    )
+
+
+__all__ = ["make_rng", "resolve_entropy", "shard_rng", "spawn_rngs"]

@@ -9,6 +9,7 @@ from repro.simulation.cycles import (
 from repro.simulation.memory import MemoryExperimentResult, run_memory_experiment
 from repro.simulation.monte_carlo import wilson_interval
 from repro.simulation.results import SignatureDistribution
+from repro.simulation.shard import run_memory_experiment_sharded
 
 __all__ = [
     "sample_cycle_signatures",
@@ -19,5 +20,6 @@ __all__ = [
     "MemoryExperimentResult",
     "run_memory_experiment",
     "run_memory_experiment_batch",
+    "run_memory_experiment_sharded",
     "wilson_interval",
 ]

@@ -15,11 +15,19 @@ convention that lets every detection event be matched):
 The same harness runs the MWPM baseline and the Clique+MWPM hierarchy, which
 is exactly the comparison in Fig. 14.
 
-Two engines share this harness's contract: the per-trial ``loop`` engine
-below (the correctness oracle) and the vectorised ``batch`` engine of
-:mod:`repro.simulation.batch` (the default), selected with the ``engine``
-argument of :func:`run_memory_experiment`.  They are bit-identical under a
-fixed seed.
+Three engines share this harness's contract, selected with the ``engine``
+argument of :func:`run_memory_experiment`:
+
+* ``"loop"`` — the per-trial reference path below, kept as the correctness
+  oracle;
+* ``"batch"`` (default) — the vectorised engine of
+  :mod:`repro.simulation.batch`, bit-identical to the loop under a fixed
+  seed;
+* ``"sharded"`` — the multiprocess engine of :mod:`repro.simulation.shard`,
+  which fans fixed-size shards of the trial budget over worker processes.
+  It is deterministic for a fixed ``(seed, chunk_trials)`` independent of
+  the worker count, but follows its own per-shard RNG streams (see that
+  module's seeding contract) rather than the loop/batch stream.
 """
 
 from __future__ import annotations
@@ -112,6 +120,8 @@ def run_memory_experiment(
     rng: np.random.Generator | int | None = None,
     decoder_name: str | None = None,
     engine: str = "batch",
+    workers: int | None = None,
+    chunk_trials: int | None = None,
 ) -> MemoryExperimentResult:
     """Estimate the logical error rate of a decoder with Monte-Carlo trials.
 
@@ -120,23 +130,51 @@ def run_memory_experiment(
         noise: noise model (the paper uses symmetric phenomenological noise).
         decoder_factory: builds the decoder under test for ``(code, stype)``;
             a factory is taken rather than an instance so the harness can be
-            reused across codes in parameter sweeps.
+            reused across codes in parameter sweeps (and so the sharded
+            engine can rebuild the decoder inside each worker process — use
+            a picklable factory, i.e. a module-level function or class).
         trials: number of independent memory experiments.
         rounds: noisy measurement rounds per trial (defaults to the code
             distance, the standard choice).
         stype: which error species to track (the other is symmetric).
-        rng: seed or generator.
+        rng: seed or generator (``"sharded"`` accepts only a seed).
         decoder_name: label for reports (defaults to the class name).
         engine: ``"batch"`` (default) runs the vectorised engine of
             :mod:`repro.simulation.batch`; ``"loop"`` runs the per-trial
-            reference path.  Both produce bit-identical results under the
-            same seed — the loop engine is kept as the correctness oracle.
+            reference path (both bit-identical under the same seed);
+            ``"sharded"`` fans the trial budget over worker processes via
+            :mod:`repro.simulation.shard` (deterministic per
+            ``(seed, chunk_trials)`` independent of ``workers``).
+        workers: process count for the sharded engine (defaults to the CPU
+            count; ``1`` runs the shards sequentially in-process).
+        chunk_trials: trials per shard for the sharded engine.
     """
+    if engine != "sharded" and workers is not None:
+        raise ConfigurationError(
+            f"workers is only meaningful for engine='sharded', got engine={engine!r}"
+        )
+    if engine == "sharded":
+        from repro.simulation.shard import run_memory_experiment_sharded
+
+        kwargs = {} if chunk_trials is None else {"chunk_trials": chunk_trials}
+        return run_memory_experiment_sharded(
+            code,
+            noise,
+            decoder_factory,
+            trials=trials,
+            rounds=rounds,
+            stype=stype,
+            rng=rng,
+            decoder_name=decoder_name,
+            workers=workers,
+            **kwargs,
+        )
     if engine == "batch":
         # Imported lazily to avoid a circular import (batch.py builds this
         # module's MemoryExperimentResult).
         from repro.simulation.batch import run_memory_experiment_batch
 
+        kwargs = {} if chunk_trials is None else {"chunk_trials": chunk_trials}
         return run_memory_experiment_batch(
             code,
             noise,
@@ -146,9 +184,16 @@ def run_memory_experiment(
             stype=stype,
             rng=rng,
             decoder_name=decoder_name,
+            **kwargs,
         )
     if engine != "loop":
-        raise ConfigurationError(f"engine must be 'batch' or 'loop', got {engine!r}")
+        raise ConfigurationError(
+            f"engine must be 'batch', 'loop', or 'sharded', got {engine!r}"
+        )
+    if chunk_trials is not None:
+        raise ConfigurationError(
+            "chunk_trials is only meaningful for engine='batch' or 'sharded'"
+        )
 
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")

@@ -1,0 +1,195 @@
+"""Sharded Monte-Carlo engine: the batch engine scaled across processes.
+
+Once the vectorised batch engine of :mod:`repro.simulation.batch` saturates a
+core, the remaining orders of magnitude come from parallel scaling: this
+module splits a trial budget into fixed-size shards, runs each shard through
+the batch engine in a ``ProcessPoolExecutor`` worker, and merges the
+per-shard :class:`~repro.simulation.memory.MemoryExperimentResult` counts.
+
+Seeding contract
+----------------
+Shard ``i`` draws from :func:`repro.noise.rng.shard_rng`, whose stream
+depends only on ``(seed, shard_index)`` — it is derived via
+``SeedSequence(seed, spawn_key=(i,))``, i.e. exactly what
+``SeedSequence(seed).spawn(n)[i]`` would produce for any ``n``.  The shard
+plan itself depends only on ``(trials, chunk_trials)``.  Together these make
+the engine **deterministic for a fixed** ``(seed, chunk_trials)``
+**independent of** ``workers`` — the same failure counts fall out whether the
+shards run in one process, in eight, or in a different assignment order.
+
+The sharded engine is *not* bit-identical to ``engine="batch"`` (each shard
+owns an independent child stream rather than a slice of the root stream), but
+it is exactly equal to running the batch engine once per shard with
+``rng=shard_rng(seed, i)`` and summing the counts — which is what the
+equivalence tests in ``tests/simulation/test_shard_engine.py`` pin.
+
+``workers=1`` (or an unavailable ``ProcessPoolExecutor``, e.g. a sandbox
+without POSIX semaphores) runs the same shard plan sequentially in-process,
+so restricted CI environments still exercise every code path with identical
+results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.decoders.base import Decoder
+from repro.exceptions import ConfigurationError
+from repro.noise.models import NoiseModel
+from repro.noise.rng import resolve_entropy, shard_rng
+from repro.types import StabilizerType
+
+#: Trials per shard.  Small enough that a paper-scale budget yields plenty of
+#: shards to spread over a many-core pool, large enough that each shard's
+#: batch-engine vectorisation and per-process decoder construction amortise.
+DEFAULT_SHARD_TRIALS = 500
+
+
+def plan_shards(trials: int, chunk_trials: int) -> list[int]:
+    """Split ``trials`` into the per-shard trial counts.
+
+    The plan depends only on ``(trials, chunk_trials)`` — never on the worker
+    count — which is half of the engine's determinism guarantee (the other
+    half is :func:`repro.noise.rng.shard_rng`).
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if chunk_trials <= 0:
+        raise ConfigurationError(f"chunk_trials must be positive, got {chunk_trials}")
+    full, remainder = divmod(trials, chunk_trials)
+    return [chunk_trials] * full + ([remainder] if remainder else [])
+
+
+def _run_shard(
+    code: RotatedSurfaceCode,
+    noise: NoiseModel,
+    decoder_factory: Callable[[RotatedSurfaceCode, StabilizerType], Decoder],
+    shard_trials: int,
+    rounds: int | None,
+    stype: StabilizerType,
+    seed: int,
+    shard_index: int,
+) -> tuple[int, int, int, str]:
+    """Run one shard through the batch engine (top-level so it pickles)."""
+    from repro.simulation.batch import run_memory_experiment_batch
+
+    result = run_memory_experiment_batch(
+        code,
+        noise,
+        decoder_factory,
+        trials=shard_trials,
+        rounds=rounds,
+        stype=stype,
+        rng=shard_rng(seed, shard_index),
+    )
+    return (
+        result.logical_failures,
+        result.onchip_rounds,
+        result.total_rounds,
+        result.decoder_name,
+    )
+
+
+def run_memory_experiment_sharded(
+    code: RotatedSurfaceCode,
+    noise: NoiseModel,
+    decoder_factory: Callable[[RotatedSurfaceCode, StabilizerType], Decoder],
+    trials: int,
+    rounds: int | None = None,
+    stype: StabilizerType = StabilizerType.X,
+    rng: int | None = None,
+    decoder_name: str | None = None,
+    chunk_trials: int = DEFAULT_SHARD_TRIALS,
+    workers: int | None = None,
+):
+    """Sharded counterpart of :func:`repro.simulation.memory.run_memory_experiment`.
+
+    Args:
+        rng: integer seed (or ``None`` for fresh entropy, drawn once and
+            shared by all shards).  A ready-made generator is *not* accepted:
+            its state cannot be split deterministically across processes.
+        chunk_trials: trials per shard; with the seed it fully determines the
+            result (see the module docstring).
+        workers: process count; defaults to ``os.cpu_count()``.  ``1`` runs
+            the shards sequentially in-process.  The value never affects the
+            merged counts, only wall-clock time.
+    """
+    # Imported lazily: memory.py re-exports this engine behind its
+    # ``engine="sharded"`` switch, so a module-level import would be circular.
+    from repro.simulation.memory import MemoryExperimentResult
+
+    if isinstance(rng, np.random.Generator):
+        raise ConfigurationError(
+            "engine='sharded' needs an integer seed (or None), not a Generator: "
+            "generator state cannot be split deterministically across shards"
+        )
+    if rounds is None:
+        rounds = code.distance
+    if rounds <= 0:
+        raise ConfigurationError(f"rounds must be positive, got {rounds}")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 0:
+        raise ConfigurationError(f"workers must be positive, got {workers}")
+
+    seed = resolve_entropy(rng)
+    shards = plan_shards(trials, chunk_trials)
+
+    shard_args = [
+        (code, noise, decoder_factory, shard_trials, rounds, stype, seed, index)
+        for index, shard_trials in enumerate(shards)
+    ]
+    if workers == 1 or len(shards) == 1:
+        outcomes = [_run_shard(*args) for args in shard_args]
+    else:
+        outcomes = _run_shards_in_pool(shard_args, workers)
+
+    failures = sum(outcome[0] for outcome in outcomes)
+    onchip_rounds = sum(outcome[1] for outcome in outcomes)
+    total_rounds = sum(outcome[2] for outcome in outcomes)
+    return MemoryExperimentResult(
+        physical_error_rate=noise.data_error_rate,
+        code_distance=code.distance,
+        rounds=rounds,
+        trials=trials,
+        logical_failures=failures,
+        decoder_name=decoder_name or outcomes[0][3],
+        onchip_rounds=onchip_rounds,
+        total_rounds=total_rounds,
+    )
+
+
+def _run_shards_in_pool(shard_args: list[tuple], workers: int) -> list[tuple]:
+    """Fan the shards out over a process pool, in-process on pool failure.
+
+    Environments without working multiprocessing primitives (no POSIX
+    semaphores, no forking) raise while *constructing* the pool (its queues
+    allocate locks/semaphores eagerly); since worker count never affects
+    results, falling back to the sequential path there is safe.  Only
+    construction is guarded — an error raised by shard code itself must
+    propagate, not silently re-run the whole budget in-process.
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(shard_args)))
+    except (ImportError, NotImplementedError, OSError, PermissionError):
+        return [_run_shard(*args) for args in shard_args]
+    with pool:
+        return list(pool.map(_run_shard_args, shard_args))
+
+
+def _run_shard_args(args: tuple) -> tuple:
+    """``pool.map`` adapter (top-level so it pickles)."""
+    return _run_shard(*args)
+
+
+__all__ = [
+    "DEFAULT_SHARD_TRIALS",
+    "plan_shards",
+    "run_memory_experiment_sharded",
+]

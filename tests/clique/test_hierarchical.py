@@ -180,3 +180,67 @@ class TestAccuracyAgainstBaseline:
             rng=6,
         )
         assert result.onchip_round_fraction > 0.9
+
+
+class TestNamedFallbacks:
+    def test_mwpm_is_the_default(self, code_d5):
+        decoder = HierarchicalDecoder(code_d5, StabilizerType.X)
+        assert isinstance(decoder.fallback, MWPMDecoder)
+
+    def test_union_find_is_selectable_by_name(self, code_d5):
+        from repro.decoders.union_find import ClusteringDecoder
+
+        decoder = HierarchicalDecoder(code_d5, StabilizerType.X, fallback="union_find")
+        assert isinstance(decoder.fallback, ClusteringDecoder)
+
+    def test_unknown_name_is_rejected(self, code_d5):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            HierarchicalDecoder(code_d5, StabilizerType.X, fallback="lookup_table")
+
+
+class TestBatchedFallbackBitIdentity:
+    """decode_batch routes off-chip trials through the batched fallback; it
+    must stay bit-identical to the per-trial decode_history reference."""
+
+    @pytest.mark.parametrize("distance", [5, 7])
+    @pytest.mark.parametrize("fallback", ["mwpm", "union_find"])
+    def test_decode_batch_matches_decode_history(self, distance, fallback):
+        from repro.codes.rotated_surface import get_code
+
+        code = get_code(distance)
+        decoder = HierarchicalDecoder(code, StabilizerType.X, fallback=fallback)
+        width = _width(code)
+        data_index = code.data_index
+        rng = np.random.default_rng(29)
+        # Densities straddle the on-chip/off-chip triage point so plenty of
+        # trials exercise the batched fallback.
+        for density in (0.05, 0.18):
+            batch = (rng.random((40, distance + 1, width)) < density).astype(np.uint8)
+            result = decoder.decode_batch(batch)
+            for trial in range(batch.shape[0]):
+                reference = decoder.decode_history(batch[trial])
+                bitmap = np.zeros(code.num_data_qubits, dtype=np.uint8)
+                for qubit in reference.correction:
+                    bitmap[data_index[qubit]] ^= 1
+                assert np.array_equal(result.corrections[trial], bitmap)
+                assert result.onchip_rounds[trial] == (
+                    reference.num_rounds - reference.num_offchip_rounds
+                )
+
+    def test_generic_fallback_without_bitmap_hook_still_matches(self, code_d5):
+        # A fallback that only implements decode() exercises the per-trial
+        # compatibility path inside _offchip_corrections.
+        class PlainMWPM(MWPMDecoder):
+            decode_events_bitmap = None  # hide the batched hook
+
+        plain = PlainMWPM(code_d5, StabilizerType.X)
+        via_plain = HierarchicalDecoder(code_d5, StabilizerType.X, fallback=plain)
+        via_batched = HierarchicalDecoder(code_d5, StabilizerType.X)
+        rng = np.random.default_rng(31)
+        batch = (rng.random((30, 6, _width(code_d5))) < 0.15).astype(np.uint8)
+        a = via_plain.decode_batch(batch)
+        b = via_batched.decode_batch(batch)
+        assert np.array_equal(a.corrections, b.corrections)
+        assert np.array_equal(a.onchip_rounds, b.onchip_rounds)

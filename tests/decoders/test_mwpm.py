@@ -138,7 +138,11 @@ class TestSmallCaseSolver:
                 + np.abs(rounds[:, None] - rounds[None, :])
             ).tolist()
             boundary = graph.boundary_distance_array[ancilla].tolist()
-            dp_weight = total_weight(*mwpm_d5._match_small(events, distance, boundary))
+            dp_pairs, dp_boundary = mwpm_d5._match_small(distance, boundary)
+            dp_weight = total_weight(
+                [(events[i], events[j]) for i, j in dp_pairs],
+                [events[i] for i in dp_boundary],
+            )
 
             limit = MWPMDecoder._SMALL_CASE_LIMIT
             MWPMDecoder._SMALL_CASE_LIMIT = 0
@@ -147,6 +151,44 @@ class TestSmallCaseSolver:
             finally:
                 MWPMDecoder._SMALL_CASE_LIMIT = limit
             assert dp_weight == blossom_weight
+
+    def test_all_zero_distance_tie_breaks_deterministically(self, mwpm_d5):
+        # Pathological degenerate input: every pair and boundary assignment
+        # ties at zero weight.  The DP must pick one canonical assignment
+        # (everything to the boundary) so sharded and unsharded runs can
+        # never diverge on equal-weight choices.
+        for num in (1, 2, 3, 5):
+            distance = [[0] * num for _ in range(num)]
+            boundary = [0] * num
+            pairs, boundary_matches = mwpm_d5._match_small(distance, boundary)
+            assert pairs == []
+            assert sorted(boundary_matches) == list(range(num))
+            # Repeated calls agree exactly.
+            assert (pairs, boundary_matches) == mwpm_d5._match_small(distance, boundary)
+
+
+class TestBoundaryCliqueCache:
+    def test_cache_is_bounded(self, code_d3):
+        decoder = MWPMDecoder(code_d3, StabilizerType.X)
+        for num in range(2, 2 + 3 * MWPMDecoder._BOUNDARY_CLIQUE_CACHE_LIMIT):
+            edges = decoder._boundary_clique_edges(num)
+            assert len(edges) == num * (num - 1) // 2
+        assert (
+            len(decoder._boundary_clique_cache)
+            <= MWPMDecoder._BOUNDARY_CLIQUE_CACHE_LIMIT
+        )
+
+    def test_uncached_counts_still_build_correct_edges(self, code_d3):
+        decoder = MWPMDecoder(code_d3, StabilizerType.X)
+        # Fill the cache, then request a count that will not be retained.
+        for num in range(2, 2 + MWPMDecoder._BOUNDARY_CLIQUE_CACHE_LIMIT):
+            decoder._boundary_clique_edges(num)
+        overflow = 100
+        edges = decoder._boundary_clique_edges(overflow)
+        assert overflow not in decoder._boundary_clique_cache
+        assert len(edges) == overflow * (overflow - 1) // 2
+        # Boundary copies occupy the node range [num, 2 * num).
+        assert all(overflow <= a < 2 * overflow for a, b, w in edges)
 
 
 class TestLogicalPerformance:
@@ -189,3 +231,24 @@ class TestLogicalPerformance:
                 ).logical_error_rate
             )
         assert rates[0] < rates[1]
+
+
+class TestEventBitmapPath:
+    def test_bitmap_matches_decode(self, mwpm_d5, code_d5, rng):
+        width = code_d5.num_ancillas_of_type(StabilizerType.X)
+        data_index = code_d5.data_index
+        # Densities chosen so event counts land both under and over the
+        # subset-DP limit, covering the DP and blossom branches.
+        for density in (0.05, 0.25):
+            detections = (rng.random((5, width)) < density).astype(np.uint8)
+            rounds, ancillas = np.nonzero(detections)
+            bitmap = mwpm_d5.decode_events_bitmap(rounds, ancillas)
+            expected = np.zeros(code_d5.num_data_qubits, dtype=np.uint8)
+            for qubit in mwpm_d5.decode(detections).correction:
+                expected[data_index[qubit]] ^= 1
+            assert np.array_equal(bitmap, expected)
+
+    def test_empty_events_give_zero_bitmap(self, mwpm_d5, code_d5):
+        bitmap = mwpm_d5.decode_events_bitmap(np.array([]), np.array([]))
+        assert bitmap.shape == (code_d5.num_data_qubits,)
+        assert not bitmap.any()

@@ -83,3 +83,42 @@ class TestClusteringDecoder:
             residual = {qubit} ^ set(result.correction)
             assert not code_d3.syndrome_of(residual, StabilizerType.X).any()
             assert not code_d3.is_logical_error(residual, StabilizerType.X)
+
+
+class TestStatelessness:
+    def test_decode_leaves_no_growth_state_behind(self, clustering_d5, code_d5):
+        error = {Coord(2, 2), Coord(6, 4)}
+        syndrome = code_d5.syndrome_of(error, StabilizerType.X)
+        clustering_d5.decode(syndrome)
+        # _grow_clusters must keep all growth state local: the decoder holds
+        # no per-call attributes, so instances are safe to share across
+        # threads and repeated decodes cannot observe each other.
+        assert not hasattr(clustering_d5, "_radius")
+        assert not hasattr(clustering_d5, "_boundary_distance")
+
+    def test_repeated_decodes_are_identical(self, clustering_d5, code_d5, rng):
+        width = code_d5.num_ancillas_of_type(StabilizerType.X)
+        detections = (rng.random((5, width)) < 0.15).astype(np.uint8)
+        first = clustering_d5.decode(detections)
+        second = clustering_d5.decode(detections)
+        assert first.correction == second.correction
+        assert first.metadata == second.metadata
+
+
+class TestEventBitmapPath:
+    def test_bitmap_matches_decode(self, clustering_d5, code_d5, rng):
+        width = code_d5.num_ancillas_of_type(StabilizerType.X)
+        data_index = code_d5.data_index
+        for density in (0.06, 0.2):
+            detections = (rng.random((4, width)) < density).astype(np.uint8)
+            rounds, ancillas = np.nonzero(detections)
+            bitmap = clustering_d5.decode_events_bitmap(rounds, ancillas)
+            expected = np.zeros(code_d5.num_data_qubits, dtype=np.uint8)
+            for qubit in clustering_d5.decode(detections).correction:
+                expected[data_index[qubit]] ^= 1
+            assert np.array_equal(bitmap, expected)
+
+    def test_empty_events_give_zero_bitmap(self, clustering_d5, code_d5):
+        bitmap = clustering_d5.decode_events_bitmap(np.array([]), np.array([]))
+        assert bitmap.shape == (code_d5.num_data_qubits,)
+        assert not bitmap.any()

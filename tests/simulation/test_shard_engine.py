@@ -1,0 +1,207 @@
+"""Determinism tests for the sharded multiprocess Monte-Carlo engine.
+
+The sharded engine's contract is weaker than batch-vs-loop bit-identity (each
+shard owns an independent child RNG stream) but just as exact: for a fixed
+``(seed, chunk_trials)`` the merged counts are fully determined — independent
+of the worker count, of whether the shards run in-process or in a pool, and
+equal to running the batch engine once per shard with
+``shard_rng(seed, shard_index)`` and summing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clique.hierarchical import HierarchicalDecoder
+from repro.codes.rotated_surface import get_code
+from repro.exceptions import ConfigurationError
+from repro.noise.models import PhenomenologicalNoise
+from repro.noise.rng import resolve_entropy, shard_rng
+from repro.simulation.batch import run_memory_experiment_batch
+from repro.simulation.memory import run_memory_experiment
+from repro.simulation.shard import plan_shards, run_memory_experiment_sharded
+
+
+# Sharded workers rebuild the decoder, so factories must be module-level
+# (picklable) callables.
+def _hierarchical(code, stype):
+    return HierarchicalDecoder(code, stype)
+
+
+def _hierarchical_uf(code, stype):
+    return HierarchicalDecoder(code, stype, fallback="union_find")
+
+
+class TestShardPlan:
+    def test_plan_depends_only_on_trials_and_chunk(self):
+        assert plan_shards(1000, 400) == [400, 400, 200]
+        assert plan_shards(800, 400) == [400, 400]
+        assert plan_shards(5, 400) == [5]
+
+    def test_plan_validates_inputs(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(0, 400)
+        with pytest.raises(ConfigurationError):
+            plan_shards(100, 0)
+
+
+class TestShardRng:
+    def test_stream_depends_only_on_seed_and_index(self):
+        a = shard_rng(7, 3).random(4)
+        b = shard_rng(7, 3).random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, shard_rng(7, 4).random(4))
+        assert not np.array_equal(a, shard_rng(8, 3).random(4))
+
+    def test_matches_seed_sequence_spawn(self):
+        spawned = np.random.SeedSequence(7).spawn(5)
+        for index in (0, 2, 4):
+            expected = np.random.default_rng(spawned[index]).random(4)
+            assert np.array_equal(shard_rng(7, index).random(4), expected)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            shard_rng(7, -1)
+
+    def test_resolve_entropy_pins_none_once(self):
+        assert resolve_entropy(123) == 123
+        drawn = resolve_entropy(None)
+        assert isinstance(drawn, int)
+
+
+class TestShardedDeterminism:
+    def test_workers_do_not_affect_results(self, code_d3):
+        noise = PhenomenologicalNoise(2e-2)
+        results = [
+            run_memory_experiment(
+                code_d3,
+                noise,
+                _hierarchical,
+                trials=900,
+                rng=17,
+                engine="sharded",
+                workers=workers,
+                chunk_trials=250,
+            )
+            for workers in (1, 2, 4)
+        ]
+        for result in results[1:]:
+            assert result.logical_failures == results[0].logical_failures
+            assert result.onchip_rounds == results[0].onchip_rounds
+            assert result.total_rounds == results[0].total_rounds
+
+    def test_matches_per_shard_batch_runs(self, code_d5):
+        # The sharded merge must equal running the batch engine shard by
+        # shard with the contract's generators and summing the counts.
+        noise = PhenomenologicalNoise(1e-2)
+        seed, chunk = 23, 300
+        sharded = run_memory_experiment_sharded(
+            code_d5,
+            noise,
+            _hierarchical,
+            trials=1000,
+            rng=seed,
+            chunk_trials=chunk,
+            workers=1,
+        )
+        failures = onchip = total = 0
+        for index, shard_trials in enumerate(plan_shards(1000, chunk)):
+            shard = run_memory_experiment_batch(
+                code_d5,
+                noise,
+                _hierarchical,
+                trials=shard_trials,
+                rng=shard_rng(seed, index),
+            )
+            failures += shard.logical_failures
+            onchip += shard.onchip_rounds
+            total += shard.total_rounds
+        assert sharded.logical_failures == failures
+        assert sharded.onchip_rounds == onchip
+        assert sharded.total_rounds == total
+
+    def test_repeated_runs_are_identical(self, code_d3):
+        noise = PhenomenologicalNoise(1e-2)
+        first = run_memory_experiment(
+            code_d3, noise, _hierarchical, trials=500, rng=3, engine="sharded"
+        )
+        second = run_memory_experiment(
+            code_d3, noise, _hierarchical, trials=500, rng=3, engine="sharded"
+        )
+        assert first.logical_failures == second.logical_failures
+        assert first.onchip_rounds == second.onchip_rounds
+
+    def test_union_find_fallback_shards_identically(self, code_d3):
+        noise = PhenomenologicalNoise(2e-2)
+        single = run_memory_experiment(
+            code_d3,
+            noise,
+            _hierarchical_uf,
+            trials=600,
+            rng=11,
+            engine="sharded",
+            workers=1,
+            chunk_trials=200,
+        )
+        pooled = run_memory_experiment(
+            code_d3,
+            noise,
+            _hierarchical_uf,
+            trials=600,
+            rng=11,
+            engine="sharded",
+            workers=2,
+            chunk_trials=200,
+        )
+        assert single.logical_failures == pooled.logical_failures
+        assert single.onchip_rounds == pooled.onchip_rounds
+
+
+class TestShardedValidation:
+    def test_generator_rng_is_rejected(self, code_d3):
+        with pytest.raises(ConfigurationError):
+            run_memory_experiment_sharded(
+                code_d3,
+                PhenomenologicalNoise(1e-2),
+                _hierarchical,
+                trials=100,
+                rng=np.random.default_rng(1),
+            )
+
+    def test_workers_only_for_sharded(self, code_d3):
+        with pytest.raises(ConfigurationError):
+            run_memory_experiment(
+                code_d3,
+                PhenomenologicalNoise(1e-2),
+                _hierarchical,
+                trials=100,
+                engine="batch",
+                workers=2,
+            )
+
+    def test_invalid_workers_rejected(self, code_d3):
+        with pytest.raises(ConfigurationError):
+            run_memory_experiment_sharded(
+                code_d3,
+                PhenomenologicalNoise(1e-2),
+                _hierarchical,
+                trials=100,
+                rng=1,
+                workers=0,
+            )
+
+    def test_result_metadata_is_preserved(self, code_d3):
+        result = run_memory_experiment(
+            code_d3,
+            PhenomenologicalNoise(1e-2),
+            _hierarchical,
+            trials=120,
+            rng=2,
+            engine="sharded",
+            workers=1,
+        )
+        assert result.trials == 120
+        assert result.code_distance == 3
+        assert result.rounds == 3
+        assert result.decoder_name == "HierarchicalDecoder"
