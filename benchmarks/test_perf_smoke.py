@@ -11,7 +11,14 @@ tracked across PRs:
   fallbacks (MWPM vs union-find clustering);
 * ``paper_workload`` — d=7, p=1e-2, 4000 trials, batch vs sharded: the
   sharded engine must be >= 3x faster on a multi-core runner (>= 4 CPUs) and
-  must not regress below the batch engine at ``workers=1``.
+  must not regress below the batch engine at ``workers=1``;
+* ``coverage`` (schema v3) — d=11, p=1e-2, 100k cycles through the sharded
+  coverage engine (cycles/sec at the full worker count vs ``workers=1``),
+  asserting count determinism across worker counts;
+* ``adaptive`` (schema v3) — adaptive-vs-fixed trial counts at equal
+  confidence width on the d=5 paper point: the fixed ``PAPER_TRIAL_BUDGETS``
+  run's achieved Wilson width becomes the adaptive target, and the adaptive
+  run must hit it with at most the fixed budget.
 
 The run is deliberately kept out of the tier-1 fast path: set
 ``REPRO_PERF_SMOKE=1`` to enable it, e.g.
@@ -31,17 +38,24 @@ import pytest
 
 from repro.clique.hierarchical import HierarchicalDecoder
 from repro.codes.rotated_surface import get_code
+from repro.experiments.fig14 import PAPER_TRIAL_BUDGETS
 from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.coverage import simulate_clique_coverage
 from repro.simulation.memory import run_memory_experiment
+from repro.simulation.monte_carlo import until_wilson, wilson_width
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_memory.json"
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DISTANCE = 5
 ERROR_RATE = 1e-2
 TRIALS = 1_000
 SEED = 2026
 MIN_BATCH_SPEEDUP = 5.0
+
+COVERAGE_DISTANCE = 11
+COVERAGE_CYCLES = 100_000
+COVERAGE_CHUNK = 10_000
 
 PAPER_DISTANCE = 7
 PAPER_TRIALS = 4_000
@@ -122,6 +136,67 @@ def test_engine_and_fallback_throughput_bench_record():
     paper_single = _time_run(PAPER_DISTANCE, PAPER_TRIALS, "sharded", workers=1)
     sharded_speedup = paper_sharded["trials_per_sec"] / paper_batch["trials_per_sec"]
 
+    # --- sharded coverage throughput: d=11, 100k cycles -------------------
+    coverage_runs = []
+    coverage_counts = []
+    for workers in (cpu_count, 1):
+        start = time.perf_counter()
+        coverage = simulate_clique_coverage(
+            get_code(COVERAGE_DISTANCE),
+            PhenomenologicalNoise(ERROR_RATE),
+            COVERAGE_CYCLES,
+            rng=SEED,
+            workers=workers,
+            chunk_cycles=COVERAGE_CHUNK,
+        )
+        elapsed = time.perf_counter() - start
+        coverage_runs.append(
+            {
+                "workers": workers,
+                "seconds": round(elapsed, 4),
+                "cycles_per_sec": round(COVERAGE_CYCLES / elapsed, 1),
+                "coverage_pct": round(100.0 * coverage.coverage, 4),
+            }
+        )
+        coverage_counts.append((coverage.onchip_cycles, coverage.all_zero_cycles))
+
+    # --- adaptive vs fixed trial counts at the 0.02 confidence width ------
+    # The fixed d=5 paper budget massively over-samples a 0.02-wide Wilson
+    # target; the adaptive run certifies the same width with a fraction of
+    # the trials.  Both runs and widths are recorded so the trajectory of
+    # the saving is tracked across PRs.
+    target_width = 0.02
+    fixed_budget = PAPER_TRIAL_BUDGETS[DISTANCE]
+    fixed = run_memory_experiment(
+        get_code(DISTANCE),
+        PhenomenologicalNoise(ERROR_RATE),
+        _Hierarchical(),
+        trials=fixed_budget,
+        rng=SEED,
+        engine="sharded",
+    )
+    fixed_width = wilson_width(fixed.logical_failures, fixed.trials)
+    adaptive = run_memory_experiment(
+        get_code(DISTANCE),
+        PhenomenologicalNoise(ERROR_RATE),
+        _Hierarchical(),
+        trials=fixed_budget,
+        rng=SEED,
+        engine="sharded",
+        adaptive=until_wilson(target_width, min_trials=200, max_trials=fixed_budget),
+    )
+    adaptive_width = wilson_width(adaptive.logical_failures, adaptive.trials)
+    adaptive_record = {
+        "distance": DISTANCE,
+        "error_rate": ERROR_RATE,
+        "target_width": target_width,
+        "fixed_trials": fixed.trials,
+        "fixed_width": round(fixed_width, 5),
+        "adaptive_trials": adaptive.trials,
+        "adaptive_width": round(adaptive_width, 5),
+        "trials_saved_pct": round(100.0 * (1 - adaptive.trials / fixed.trials), 1),
+    }
+
     record = {
         "schema_version": SCHEMA_VERSION,
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -144,6 +219,15 @@ def test_engine_and_fallback_throughput_bench_record():
             "runs": [paper_batch, paper_sharded, paper_single],
             "sharded_speedup": round(sharded_speedup, 2),
         },
+        "coverage": {
+            "distance": COVERAGE_DISTANCE,
+            "error_rate": ERROR_RATE,
+            "cycles": COVERAGE_CYCLES,
+            "chunk_cycles": COVERAGE_CHUNK,
+            "seed": SEED,
+            "runs": coverage_runs,
+        },
+        "adaptive": adaptive_record,
         "batch_speedup": round(batch_speedup, 2),
     }
     history = []
@@ -166,6 +250,14 @@ def test_engine_and_fallback_throughput_bench_record():
         fallback_runs[0]["onchip_round_fraction"]
         == fallback_runs[1]["onchip_round_fraction"]
     )
+
+    # The sharded coverage counts never depend on the worker count.
+    assert coverage_counts[0] == coverage_counts[1]
+
+    # Adaptive allocation reaches the target width (or, degenerately, the
+    # budget cap) and never burns more than the fixed budget.
+    assert adaptive_width <= target_width or adaptive.trials == fixed_budget
+    assert adaptive.trials <= fixed.trials
 
     # Throughput gates.
     assert batch_speedup >= MIN_BATCH_SPEEDUP, (

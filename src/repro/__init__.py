@@ -40,8 +40,11 @@ from repro.hardware import clique_overheads, compare_with_nisqplus
 from repro.noise import CodeCapacityNoise, PhenomenologicalNoise
 from repro.simulation import (
     run_memory_experiment,
+    run_sharded,
+    run_sharded_adaptive,
     simulate_clique_coverage,
     simulate_signature_distribution,
+    until_wilson,
 )
 from repro.types import Coord, DecodeLocation, PauliError, SignatureClass, StabilizerType
 
@@ -79,6 +82,9 @@ __all__ = [
     "simulate_signature_distribution",
     "simulate_clique_coverage",
     "run_memory_experiment",
+    "run_sharded",
+    "run_sharded_adaptive",
+    "until_wilson",
     # errors
     "ReproError",
 ]

@@ -3,9 +3,12 @@
 Examples:
     repro-qec list
     repro-qec run fig11 --param cycles=5000 --param seed=7
-    repro-qec run fig15
+    repro-qec fig11 --workers 4                      # "run" may be omitted
+    repro-qec fig11 --workers 4 --target-ci-width 0.01
+    repro-qec fig12 --param distances=3,5,7 --chunk-cycles 2000
     repro-qec run fig14 --engine loop --param trials=200
     repro-qec run fig14 --scale paper --workers 8
+    repro-qec fig14 --scale paper --adaptive --target-ci-width 0.02
     repro-qec run fig14 --fallback union_find
     repro-qec run fig14_fallbacks --param trials=300
 
@@ -16,8 +19,13 @@ whole-batch array operations — ``loop`` runs the per-trial reference path
 kept as the correctness oracle (bit-identical to batch under a fixed seed),
 and ``sharded`` fans fixed-size trial shards over worker processes
 (``--workers``), deterministic per seed independent of the worker count.
-``--scale paper`` extends fig14 to the paper's d=3–11 grid with per-distance
-trial budgets; ``--fallback`` picks the hierarchy's off-chip decoder.
+The coverage experiments (fig11/fig12/fig16) shard the same way under
+``--workers``/``--chunk-cycles``.  ``--target-ci-width`` switches coverage
+points to Wilson-converged adaptive sampling, and ``--adaptive`` does the
+same for fig14's logical-error-rate points (budget-capped by the scale's
+trial budgets).  ``--scale paper`` extends fig14 to the paper's d=3–11 grid
+with per-distance trial budgets; ``--fallback`` picks the hierarchy's
+off-chip decoder.
 """
 
 from __future__ import annotations
@@ -31,24 +39,33 @@ from repro.exceptions import ReproError
 from repro.experiments.registry import available_experiments, run_experiment
 
 
+def _parse_scalar(text: str) -> object:
+    """Guess int/float/bool for one scalar token, falling back to the string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
 def _parse_param(raw: str) -> tuple[str, object]:
-    """Parse a ``key=value`` override, guessing int/float/bool where possible."""
+    """Parse a ``key=value`` override, guessing int/float/bool where possible.
+
+    Comma-separated values become tuples (``distances=3,5,7`` — a trailing
+    comma like ``distances=3,`` forces a one-element tuple), matching the
+    tuple-typed sweep-grid parameters the experiment runners take.
+    """
     if "=" not in raw:
         raise argparse.ArgumentTypeError(f"expected key=value, got {raw!r}")
     key, text = raw.split("=", 1)
-    value: object
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        value = lowered == "true"
-    else:
-        try:
-            value = int(text)
-        except ValueError:
-            try:
-                value = float(text)
-            except ValueError:
-                value = text
-    return key, value
+    if "," in text:
+        return key, tuple(_parse_scalar(part) for part in text.split(",") if part)
+    return key, _parse_scalar(text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,7 +108,43 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for --engine sharded (default: CPU count)",
+        help=(
+            "worker processes for sharded Monte-Carlo runs: fig14 with "
+            "--engine sharded, and the fig11/fig12/fig16 coverage sweeps "
+            "(default: CPU count; results never depend on the value)"
+        ),
+    )
+    run_parser.add_argument(
+        "--chunk-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cycles per shard for the sharded coverage experiments "
+            "(fig11/fig12/fig16); with the seed it fully determines results"
+        ),
+    )
+    run_parser.add_argument(
+        "--target-ci-width",
+        type=float,
+        default=None,
+        metavar="W",
+        help=(
+            "adaptive sampling: stop each sweep point once the Wilson "
+            "interval on its tracked proportion (coverage for fig11/fig12/"
+            "fig16, logical error rate for fig14, where it implies "
+            "--adaptive) is at most this wide, instead of burning the full "
+            "fixed budget"
+        ),
+    )
+    run_parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "fig14: Wilson-converged adaptive trial allocation on the "
+            "sharded engine (see --target-ci-width; the scale's per-point "
+            "trial budget becomes the cap)"
+        ),
     )
     run_parser.add_argument(
         "--fallback",
@@ -116,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # `python -m repro fig11 --workers 4` shorthand: a first token that is not
+    # a subcommand or an option is an experiment id for the `run` subcommand.
+    if argv and argv[0] not in ("list", "run") and not argv[0].startswith("-"):
+        argv.insert(0, "run")
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -126,10 +186,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "run":
         params = dict(args.param)
-        for flag in ("engine", "workers", "fallback", "scale"):
+        for flag in ("engine", "workers", "fallback", "scale", "chunk_cycles", "target_ci_width"):
             value = getattr(args, flag)
             if value is not None:
                 params[flag] = value
+        if args.adaptive:
+            params["adaptive"] = True
         try:
             result = run_experiment(args.experiment, **params)
         except (ReproError, TypeError, ValueError) as error:

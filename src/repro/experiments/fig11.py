@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.codes.rotated_surface import get_code
 from repro.experiments.base import ExperimentResult
 from repro.noise.models import PhenomenologicalNoise
+from repro.noise.rng import point_seed
 from repro.simulation.coverage import simulate_clique_coverage
 
 DEFAULT_DISTANCES = (3, 5, 7, 9, 11, 13, 15, 17, 21)
@@ -17,8 +18,21 @@ def run(
     distances: tuple[int, ...] = DEFAULT_DISTANCES,
     error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
     measurement_rounds: int = 2,
+    workers: int | None = None,
+    chunk_cycles: int | None = None,
+    target_ci_width: float | None = None,
 ) -> ExperimentResult:
-    """Reproduce the Fig. 11 coverage curves (coverage vs distance per error rate)."""
+    """Reproduce the Fig. 11 coverage curves (coverage vs distance per error rate).
+
+    Every sweep point derives its seed via ``point_seed(seed, rate_index,
+    distance_index)`` — ``SeedSequence`` spawn keys, collision-free for any
+    grid size.  ``workers``/``chunk_cycles`` select the sharded coverage
+    engine (deterministic per seed independent of the worker count);
+    ``target_ci_width`` additionally makes each point adaptive, sampling only
+    until the Wilson interval on its coverage reaches the target width (with
+    ``cycles`` as the budget cap) — the ``cycles`` column then reports what
+    each point actually consumed.
+    """
     rows = []
     for rate_index, error_rate in enumerate(error_rates):
         noise = PhenomenologicalNoise(error_rate)
@@ -29,14 +43,17 @@ def run(
                 noise,
                 cycles,
                 measurement_rounds=measurement_rounds,
-                rng=seed + 1000 * rate_index + distance_index,
+                rng=point_seed(seed, rate_index, distance_index),
+                workers=workers,
+                chunk_cycles=chunk_cycles,
+                target_ci_width=target_ci_width,
             )
             low, high = result.coverage_interval
             rows.append(
                 {
                     "physical_error_rate": error_rate,
                     "code_distance": distance,
-                    "cycles": cycles,
+                    "cycles": result.cycles,
                     "coverage_pct": 100.0 * result.coverage,
                     "coverage_ci_low_pct": 100.0 * low,
                     "coverage_ci_high_pct": 100.0 * high,

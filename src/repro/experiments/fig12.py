@@ -6,6 +6,7 @@ from repro.codes.rotated_surface import get_code
 from repro.experiments.base import ExperimentResult
 from repro.experiments.fig11 import DEFAULT_DISTANCES, DEFAULT_ERROR_RATES
 from repro.noise.models import PhenomenologicalNoise
+from repro.noise.rng import point_seed
 from repro.simulation.coverage import simulate_clique_coverage
 
 
@@ -15,8 +16,16 @@ def run(
     distances: tuple[int, ...] = DEFAULT_DISTANCES,
     error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
     measurement_rounds: int = 2,
+    workers: int | None = None,
+    chunk_cycles: int | None = None,
+    target_ci_width: float | None = None,
 ) -> ExperimentResult:
-    """Reproduce Fig. 12: how much real decoding work Clique does beyond zero suppression."""
+    """Reproduce Fig. 12: how much real decoding work Clique does beyond zero suppression.
+
+    Seeding and engine selection follow :func:`repro.experiments.fig11.run`:
+    spawn-key per-point seeds, sharded coverage under ``workers`` /
+    ``chunk_cycles``, Wilson-adaptive sampling under ``target_ci_width``.
+    """
     rows = []
     for rate_index, error_rate in enumerate(error_rates):
         noise = PhenomenologicalNoise(error_rate)
@@ -27,13 +36,16 @@ def run(
                 noise,
                 cycles,
                 measurement_rounds=measurement_rounds,
-                rng=seed + 1000 * rate_index + distance_index,
+                rng=point_seed(seed, rate_index, distance_index),
+                workers=workers,
+                chunk_cycles=chunk_cycles,
+                target_ci_width=target_ci_width,
             )
             rows.append(
                 {
                     "physical_error_rate": error_rate,
                     "code_distance": distance,
-                    "cycles": cycles,
+                    "cycles": result.cycles,
                     "onchip_not_all_zeros_pct": 100.0 * result.onchip_nonzero_share,
                     "nonzero_handled_onchip_pct": 100.0 * result.nonzero_coverage,
                     "all_zeros_pct": 100.0 * (result.all_zero_cycles / result.cycles),

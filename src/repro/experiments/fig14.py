@@ -8,6 +8,11 @@ Two scales are supported via ``scale=``:
   budgets and the sharded multiprocess engine by default — the regime where
   Fig. 14's interesting divergence at d=9/11 lives.
 
+``adaptive=True`` (the CLI's ``--adaptive``) switches every point to
+Wilson-converged trial allocation on the sharded engine: each (point,
+decoder) run stops as soon as its logical-error-rate confidence interval is
+at most ``target_ci_width`` wide, with the scale's fixed budget as the cap.
+
 ``compare_fallbacks`` (registry id ``fig14_fallbacks``) adds the off-chip
 cost/accuracy trade-off row: the same workload decoded with the MWPM
 fallback and with the near-linear union-find fallback, with throughput
@@ -25,7 +30,9 @@ from repro.decoders.mwpm import MWPMDecoder
 from repro.exceptions import ConfigurationError
 from repro.experiments.base import ExperimentResult
 from repro.noise.models import PhenomenologicalNoise
+from repro.noise.rng import point_seed
 from repro.simulation.memory import run_memory_experiment
+from repro.simulation.monte_carlo import until_wilson
 from repro.types import StabilizerType
 
 DEFAULT_DISTANCES = (3, 5, 7)
@@ -92,6 +99,9 @@ def run(
     scale: str = "laptop",
     fallback: str = "mwpm",
     workers: int | None = None,
+    adaptive: bool = False,
+    target_ci_width: float | None = None,
+    min_trials: int = 200,
 ) -> ExperimentResult:
     """Reproduce the Fig. 14 comparison (baseline vs Clique + fallback).
 
@@ -104,7 +114,8 @@ def run(
         error_rates: physical error rates swept per distance.
         rounds: noisy rounds per trial (defaults to the code distance).
         engine: Monte-Carlo engine (``"batch"``/``"loop"``/``"sharded"``);
-            ``None`` picks batch on laptop scale, sharded on paper scale.
+            ``None`` picks batch on laptop scale, sharded on paper scale
+            (``adaptive`` forces sharded).
         scale: ``"laptop"`` (seconds, d<=7) or ``"paper"`` (d=3-11 with
             per-distance budgets — the Fig. 14 divergence regime).
         fallback: off-chip fallback for the hierarchy (``"mwpm"`` or
@@ -112,16 +123,43 @@ def run(
         workers: worker processes for the sharded engine; rejected with any
             other engine (a silently ignored value would suggest the run was
             parallelised when it was not).
+        adaptive: stop each (point, decoder) run as soon as the Wilson
+            interval on its logical error rate is at most ``target_ci_width``
+            wide, instead of burning the full fixed budget.  The scale's
+            per-point budget becomes the cap (adaptive never uses *more*
+            trials than the fixed sweep), and the per-decoder
+            ``baseline_trials``/``clique_trials`` columns report what each
+            run actually consumed.
+        target_ci_width: Wilson-interval width target (default 0.02);
+            passing it implies ``adaptive`` — a width target on a
+            non-adaptive run would otherwise be silently ignored.
+        min_trials: floor below which adaptive runs never stop (clamped to
+            the point budget).
     """
     budget, distances, engine = _resolve_scale(scale, trials, distances, engine)
+    if target_ci_width is not None:
+        adaptive = True
+    elif adaptive:
+        target_ci_width = 0.02
+    if adaptive:
+        engine = "sharded"
     hierarchy_name = "Clique+" + ("UF" if fallback == "union_find" else "MWPM")
     rows = []
     for distance_index, distance in enumerate(distances):
         code = get_code(distance)
         for rate_index, error_rate in enumerate(error_rates):
             noise = PhenomenologicalNoise(error_rate)
-            base_seed = seed + 100 * distance_index + rate_index
+            base_seed = point_seed(seed, distance_index, rate_index)
             point_trials = budget[distance]
+            stop = (
+                until_wilson(
+                    target_ci_width,
+                    min_trials=min(min_trials, point_trials),
+                    max_trials=point_trials,
+                )
+                if adaptive
+                else None
+            )
             baseline = run_memory_experiment(
                 code,
                 noise,
@@ -132,6 +170,7 @@ def run(
                 decoder_name="MWPM",
                 engine=engine,
                 workers=workers,
+                adaptive=stop,
             )
             hierarchical = run_memory_experiment(
                 code,
@@ -143,12 +182,15 @@ def run(
                 decoder_name=hierarchy_name,
                 engine=engine,
                 workers=workers,
+                adaptive=stop,
             )
             rows.append(
                 {
                     "code_distance": distance,
                     "physical_error_rate": error_rate,
                     "trials": point_trials,
+                    "baseline_trials": baseline.trials,
+                    "clique_trials": hierarchical.trials,
                     "baseline_logical_error_rate": baseline.logical_error_rate,
                     "clique_logical_error_rate": hierarchical.logical_error_rate,
                     "baseline_ci_high": baseline.confidence_interval[1],
@@ -160,7 +202,8 @@ def run(
         "Paper observation: Clique+MWPM tracks the MWPM baseline almost exactly\n"
         "at d=3/5/7 and is marginally worse at d=9/11 because the primary design\n"
         "only uses two measurement rounds for persistence filtering.\n"
-        f"(scale={scale}, engine={engine}, fallback={fallback})"
+        f"(scale={scale}, engine={engine}, fallback={fallback}"
+        + (f", adaptive: Wilson width <= {target_ci_width})" if adaptive else ")")
     )
     return ExperimentResult(
         experiment_id="fig14",
@@ -203,7 +246,7 @@ def compare_fallbacks(
     for distance_index, distance in enumerate(distances):
         code = get_code(distance)
         noise = PhenomenologicalNoise(error_rate)
-        base_seed = seed + 100 * distance_index
+        base_seed = point_seed(seed, distance_index)
         for fallback in fallbacks:
             start = time.perf_counter()
             result = run_memory_experiment(

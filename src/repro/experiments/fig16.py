@@ -7,6 +7,7 @@ from repro.bandwidth.stalling import StallSimulator
 from repro.codes.rotated_surface import get_code
 from repro.experiments.base import ExperimentResult
 from repro.noise.models import PhenomenologicalNoise
+from repro.noise.rng import point_seed
 from repro.simulation.coverage import simulate_clique_coverage
 
 #: Three operating points in the spirit of the paper's three curves.
@@ -21,25 +22,41 @@ def run(
     program_cycles: int = 20_000,
     coverage_cycles: int = 20_000,
     seed: int = 2028,
+    workers: int | None = None,
+    chunk_cycles: int | None = None,
+    target_ci_width: float | None = None,
 ) -> ExperimentResult:
     """Reproduce the Fig. 16 trade-off curves.
 
     For each operating point the per-qubit off-chip rate is measured, then a
     sweep over provisioning percentiles yields (bandwidth reduction,
     execution-time increase) pairs.
+
+    The coverage measurement feeding ``provision_for_percentile`` and the
+    :class:`StallSimulator` reuses the sharded coverage engine when
+    ``workers``/``chunk_cycles``/``target_ci_width`` are given (deterministic
+    per seed independent of the worker count; ``target_ci_width`` samples
+    each operating point only until its coverage interval converges, with
+    ``coverage_cycles`` as the budget cap).
     """
     rows = []
     for point_index, (error_rate, distance) in enumerate(operating_points):
         code = get_code(distance)
         noise = PhenomenologicalNoise(error_rate)
         coverage = simulate_clique_coverage(
-            code, noise, coverage_cycles, rng=seed + point_index
+            code,
+            noise,
+            coverage_cycles,
+            rng=point_seed(seed, point_index),
+            workers=workers,
+            chunk_cycles=chunk_cycles,
+            target_ci_width=target_ci_width,
         )
-        offchip_rate = max(coverage.offchip_fraction, 1.0 / coverage_cycles)
+        offchip_rate = max(coverage.offchip_fraction, 1.0 / coverage.cycles)
         for percentile_index, percentile in enumerate(percentiles):
             plan = provision_for_percentile(num_logical_qubits, offchip_rate, percentile)
             simulator = StallSimulator(
-                plan, seed=seed + 100 * point_index + percentile_index
+                plan, seed=point_seed(seed, point_index, percentile_index)
             )
             result = simulator.run(program_cycles)
             rows.append(

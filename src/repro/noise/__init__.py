@@ -13,7 +13,7 @@ from repro.noise.models import (
     NoiseModel,
     PhenomenologicalNoise,
 )
-from repro.noise.rng import make_rng, spawn_rngs
+from repro.noise.rng import make_rng, point_seed, spawn_rngs
 
 __all__ = [
     "CycleErrors",
@@ -23,5 +23,6 @@ __all__ = [
     "PhenomenologicalNoise",
     "CodeCapacityNoise",
     "make_rng",
+    "point_seed",
     "spawn_rngs",
 ]

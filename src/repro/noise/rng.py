@@ -59,4 +59,26 @@ def shard_rng(seed: int, shard_index: int) -> np.random.Generator:
     )
 
 
-__all__ = ["make_rng", "resolve_entropy", "shard_rng", "spawn_rngs"]
+def point_seed(seed: int | None, *key: int) -> int:
+    """Collision-free integer seed for one point of a parameter sweep.
+
+    Arithmetic schemes like ``seed + 1000 * i + j`` collide as soon as one
+    sweep axis outgrows the stride; this instead routes the point coordinates
+    through ``SeedSequence(seed, spawn_key=key)`` — the same mechanism as
+    :func:`shard_rng` — and condenses its state into a 128-bit integer, so
+    distinct ``key`` tuples always yield independent streams.  The returned
+    value is a plain ``int`` and can therefore seed any downstream consumer,
+    including the sharded engines (which re-spawn per-shard children from it).
+    """
+    if any(k < 0 for k in key):
+        raise ValueError(f"spawn-key components must be non-negative, got {key}")
+    state = np.random.SeedSequence(seed, spawn_key=tuple(key)).generate_state(
+        4, np.uint32
+    )
+    value = 0
+    for word in state:
+        value = (value << 32) | int(word)
+    return value
+
+
+__all__ = ["make_rng", "point_seed", "resolve_entropy", "shard_rng", "spawn_rngs"]

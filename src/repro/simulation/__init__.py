@@ -1,25 +1,50 @@
 """Monte-Carlo simulation harnesses (Section 6.1 of the paper)."""
 
 from repro.simulation.batch import run_memory_experiment_batch
-from repro.simulation.coverage import CoverageResult, simulate_clique_coverage
+from repro.simulation.coverage import (
+    CoverageKernel,
+    CoverageResult,
+    simulate_clique_coverage,
+)
 from repro.simulation.cycles import (
     sample_cycle_signatures,
     simulate_signature_distribution,
 )
 from repro.simulation.memory import MemoryExperimentResult, run_memory_experiment
-from repro.simulation.monte_carlo import wilson_interval
+from repro.simulation.monte_carlo import (
+    WilsonStoppingRule,
+    until_wilson,
+    wilson_interval,
+    wilson_width,
+)
 from repro.simulation.results import SignatureDistribution
-from repro.simulation.shard import run_memory_experiment_sharded
+from repro.simulation.shard import (
+    AdaptiveShardRun,
+    MemoryKernel,
+    run_memory_experiment_adaptive,
+    run_memory_experiment_sharded,
+    run_sharded,
+    run_sharded_adaptive,
+)
 
 __all__ = [
     "sample_cycle_signatures",
     "simulate_signature_distribution",
     "SignatureDistribution",
+    "CoverageKernel",
     "CoverageResult",
     "simulate_clique_coverage",
     "MemoryExperimentResult",
+    "MemoryKernel",
     "run_memory_experiment",
     "run_memory_experiment_batch",
     "run_memory_experiment_sharded",
+    "run_memory_experiment_adaptive",
+    "run_sharded",
+    "run_sharded_adaptive",
+    "AdaptiveShardRun",
+    "WilsonStoppingRule",
+    "until_wilson",
     "wilson_interval",
+    "wilson_width",
 ]

@@ -24,8 +24,14 @@ from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.exceptions import ConfigurationError
 from repro.noise.models import NoiseModel
 from repro.noise.rng import make_rng
-from repro.simulation.monte_carlo import wilson_interval
+from repro.simulation.monte_carlo import until_wilson, wilson_interval
+from repro.simulation.shard import run_sharded, run_sharded_adaptive
 from repro.types import StabilizerType
+
+#: Cycles per shard of a sharded/adaptive coverage run: small enough that a
+#: Fig. 11-size budget (20k cycles) still yields several shards to spread
+#: over a pool, large enough to amortise per-shard decoder construction.
+DEFAULT_SHARD_CYCLES = 5_000
 
 
 @dataclass(frozen=True)
@@ -80,42 +86,33 @@ class CoverageResult:
         return self.nonzero_onchip_cycles / self.onchip_cycles
 
 
-def simulate_clique_coverage(
+def _count_coverage(
     code: RotatedSurfaceCode,
     noise: NoiseModel,
+    stype: StabilizerType,
+    measurement_rounds: int,
+    clique: CliqueDecoder,
+    parity_check: np.ndarray,
     num_cycles: int,
-    stype: StabilizerType = StabilizerType.X,
-    measurement_rounds: int = 2,
-    rng: np.random.Generator | int | None = None,
-    batch_size: int = 50_000,
-    decoder: CliqueDecoder | None = None,
-) -> CoverageResult:
-    """Estimate Clique coverage by sampling independent decode cycles.
+    generator: np.random.Generator,
+    batch_size: int,
+) -> tuple[int, int]:
+    """Count (on-chip, all-zero) cycles — the shared batch body of both paths.
 
-    Measurement errors only reach the decision logic when they persist for
-    the full ``measurement_rounds`` window, which happens with probability
-    ``p ** measurement_rounds`` per ancilla per cycle; transient flips are
-    filtered on-chip for free.
+    Rides the same batched sampling path as
+    :func:`repro.simulation.cycles.sample_cycle_signatures`
+    (``NoiseModel.sample_data_matrix``), so noise-model subclasses that
+    override the batched data sampler are honoured; the persistence-filtered
+    measurement flips are coverage-specific (rate ``p ** measurement_rounds``)
+    and consume the stream exactly as the historical inline sampling did.
     """
-    if num_cycles <= 0:
-        raise ConfigurationError(f"num_cycles must be positive, got {num_cycles}")
-    if measurement_rounds < 1:
-        raise ConfigurationError(
-            f"measurement_rounds must be >= 1, got {measurement_rounds}"
-        )
-    generator = make_rng(rng)
-    clique = decoder or CliqueDecoder(code, stype)
-    parity_check = code.parity_check(stype).astype(np.int64)
     persistent_flip_rate = noise.measurement_error_rate**measurement_rounds
-
     onchip = 0
     all_zero = 0
     remaining = num_cycles
     while remaining > 0:
         batch = min(batch_size, remaining)
-        data_errors = (
-            generator.random((batch, code.num_data_qubits)) < noise.data_error_rate
-        ).astype(np.int64)
+        data_errors = noise.sample_data_matrix(code, batch, generator).astype(np.int64)
         persistent_flips = (
             generator.random((batch, code.num_ancillas_of_type(stype)))
             < persistent_flip_rate
@@ -127,15 +124,161 @@ def simulate_clique_coverage(
         onchip += int(trivial.sum())
         all_zero += int((~signatures.any(axis=-1)).sum())
         remaining -= batch
+    return onchip, all_zero
+
+
+@dataclass(frozen=True)
+class CoverageKernel:
+    """Picklable coverage shard kernel for the generic sharded runner.
+
+    Partial results are ``(onchip_cycles, all_zero_cycles, cycles)`` count
+    tuples, merged by the runner's default elementwise sum.  The Clique
+    decoder is rebuilt per shard so the kernel stays cheap to pickle.
+    """
+
+    code: RotatedSurfaceCode
+    noise: NoiseModel
+    stype: StabilizerType = StabilizerType.X
+    measurement_rounds: int = 2
+    batch_size: int = 50_000
+
+    def __call__(
+        self, num_cycles: int, rng: np.random.Generator
+    ) -> tuple[int, int, int]:
+        clique = CliqueDecoder(self.code, self.stype)
+        parity_check = self.code.parity_check(self.stype).astype(np.int64)
+        onchip, all_zero = _count_coverage(
+            self.code,
+            self.noise,
+            self.stype,
+            self.measurement_rounds,
+            clique,
+            parity_check,
+            num_cycles,
+            rng,
+            self.batch_size,
+        )
+        return onchip, all_zero, num_cycles
+
+
+def _coverage_successes(counts: tuple[int, int, int]) -> int:
+    """Tracked proportion for adaptive coverage runs: the on-chip count."""
+    return counts[0]
+
+
+def simulate_clique_coverage(
+    code: RotatedSurfaceCode,
+    noise: NoiseModel,
+    num_cycles: int,
+    stype: StabilizerType = StabilizerType.X,
+    measurement_rounds: int = 2,
+    rng: np.random.Generator | int | None = None,
+    batch_size: int = 50_000,
+    decoder: CliqueDecoder | None = None,
+    workers: int | None = None,
+    chunk_cycles: int | None = None,
+    target_ci_width: float | None = None,
+    min_cycles: int | None = None,
+) -> CoverageResult:
+    """Estimate Clique coverage by sampling independent decode cycles.
+
+    Measurement errors only reach the decision logic when they persist for
+    the full ``measurement_rounds`` window, which happens with probability
+    ``p ** measurement_rounds`` per ancilla per cycle; transient flips are
+    filtered on-chip for free.
+
+    Engine selection: with ``workers``, ``chunk_cycles``, and
+    ``target_ci_width`` all ``None`` (the default), the historical in-process
+    single-stream path runs and ``rng`` may be a ready generator.  Passing
+    any of them selects the sharded engine (:mod:`repro.simulation.shard`):
+    ``rng`` must then be an integer seed, and the counts are deterministic
+    per ``(seed, chunk_cycles)`` independent of ``workers`` — equal to
+    running :class:`CoverageKernel` once per shard under the
+    ``shard_rng(seed, i)`` contract and summing.
+
+    Adaptive allocation: ``target_ci_width`` stops spawning shards once the
+    Wilson interval on the coverage proportion is at most that wide
+    (``min_cycles`` floor, ``num_cycles`` budget cap); the result's
+    ``cycles`` field records what was actually consumed.
+    """
+    if num_cycles <= 0:
+        raise ConfigurationError(f"num_cycles must be positive, got {num_cycles}")
+    if measurement_rounds < 1:
+        raise ConfigurationError(
+            f"measurement_rounds must be >= 1, got {measurement_rounds}"
+        )
+    if min_cycles is not None and target_ci_width is None:
+        raise ConfigurationError(
+            "min_cycles is only meaningful with target_ci_width (adaptive "
+            "sampling); a silently ignored floor would suggest it was applied"
+        )
+
+    sharded = (
+        workers is not None or chunk_cycles is not None or target_ci_width is not None
+    )
+    if not sharded:
+        generator = make_rng(rng)
+        clique = decoder or CliqueDecoder(code, stype)
+        parity_check = code.parity_check(stype).astype(np.int64)
+        onchip, all_zero = _count_coverage(
+            code,
+            noise,
+            stype,
+            measurement_rounds,
+            clique,
+            parity_check,
+            num_cycles,
+            generator,
+            batch_size,
+        )
+        cycles = num_cycles
+    else:
+        if decoder is not None:
+            raise ConfigurationError(
+                "a pre-built decoder cannot be used with the sharded coverage "
+                "path: each shard rebuilds its own CliqueDecoder"
+            )
+        chunk = chunk_cycles if chunk_cycles is not None else DEFAULT_SHARD_CYCLES
+        kernel = CoverageKernel(code, noise, stype, measurement_rounds, batch_size)
+        if target_ci_width is not None:
+            stop = until_wilson(
+                target_ci_width,
+                min_trials=min_cycles
+                if min_cycles is not None
+                else min(chunk, num_cycles),
+                max_trials=num_cycles,
+            )
+            run = run_sharded_adaptive(
+                kernel,
+                stop=stop,
+                successes_of=_coverage_successes,
+                seed=rng,
+                chunk_trials=chunk,
+                workers=workers,
+            )
+            onchip, all_zero, cycles = run.value
+        else:
+            onchip, all_zero, cycles = run_sharded(
+                kernel,
+                trials=num_cycles,
+                seed=rng,
+                chunk_trials=chunk,
+                workers=workers,
+            )
 
     return CoverageResult(
         physical_error_rate=noise.data_error_rate,
         code_distance=code.distance,
         measurement_rounds=measurement_rounds,
-        cycles=num_cycles,
+        cycles=cycles,
         onchip_cycles=onchip,
         all_zero_cycles=all_zero,
     )
 
 
-__all__ = ["CoverageResult", "simulate_clique_coverage"]
+__all__ = [
+    "CoverageKernel",
+    "CoverageResult",
+    "DEFAULT_SHARD_CYCLES",
+    "simulate_clique_coverage",
+]

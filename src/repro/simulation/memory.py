@@ -43,7 +43,7 @@ from repro.exceptions import ConfigurationError
 from repro.noise.events import vector_to_errors
 from repro.noise.models import NoiseModel
 from repro.noise.rng import make_rng
-from repro.simulation.monte_carlo import wilson_interval
+from repro.simulation.monte_carlo import WilsonStoppingRule, wilson_interval
 from repro.syndrome.history import SyndromeHistory
 from repro.types import StabilizerType
 
@@ -122,6 +122,7 @@ def run_memory_experiment(
     engine: str = "batch",
     workers: int | None = None,
     chunk_trials: int | None = None,
+    adaptive: WilsonStoppingRule | None = None,
 ) -> MemoryExperimentResult:
     """Estimate the logical error rate of a decoder with Monte-Carlo trials.
 
@@ -148,15 +149,42 @@ def run_memory_experiment(
         workers: process count for the sharded engine (defaults to the CPU
             count; ``1`` runs the shards sequentially in-process).
         chunk_trials: trials per shard for the sharded engine.
+        adaptive: a :class:`~repro.simulation.monte_carlo.WilsonStoppingRule`
+            (see :func:`~repro.simulation.monte_carlo.until_wilson`) enabling
+            adaptive trial allocation on the sharded engine: shards are
+            spawned by index until the Wilson interval on the logical-failure
+            rate reaches the rule's target width.  ``trials`` is ignored —
+            the rule's ``max_trials`` caps the budget — and the result's
+            ``trials`` field records what was actually consumed.
     """
     if engine != "sharded" and workers is not None:
         raise ConfigurationError(
             f"workers is only meaningful for engine='sharded', got engine={engine!r}"
         )
+    if adaptive is not None and engine != "sharded":
+        raise ConfigurationError(
+            f"adaptive allocation requires engine='sharded', got engine={engine!r}"
+        )
     if engine == "sharded":
-        from repro.simulation.shard import run_memory_experiment_sharded
+        from repro.simulation.shard import (
+            run_memory_experiment_adaptive,
+            run_memory_experiment_sharded,
+        )
 
         kwargs = {} if chunk_trials is None else {"chunk_trials": chunk_trials}
+        if adaptive is not None:
+            return run_memory_experiment_adaptive(
+                code,
+                noise,
+                decoder_factory,
+                stop=adaptive,
+                rounds=rounds,
+                stype=stype,
+                rng=rng,
+                decoder_name=decoder_name,
+                workers=workers,
+                **kwargs,
+            )
         return run_memory_experiment_sharded(
             code,
             noise,

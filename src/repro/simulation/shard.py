@@ -1,10 +1,18 @@
-"""Sharded Monte-Carlo engine: the batch engine scaled across processes.
+"""Generic sharded Monte-Carlo runner: any batch kernel scaled across processes.
 
-Once the vectorised batch engine of :mod:`repro.simulation.batch` saturates a
-core, the remaining orders of magnitude come from parallel scaling: this
-module splits a trial budget into fixed-size shards, runs each shard through
-the batch engine in a ``ProcessPoolExecutor`` worker, and merges the
-per-shard :class:`~repro.simulation.memory.MemoryExperimentResult` counts.
+Once a vectorised kernel (the batch memory engine of
+:mod:`repro.simulation.batch`, the coverage counter of
+:mod:`repro.simulation.coverage`, ...) saturates a core, the remaining orders
+of magnitude come from parallel scaling.  This module splits a trial budget
+into fixed-size shards, runs each shard's kernel call in a
+``ProcessPoolExecutor`` worker, and merges the per-shard partial results with
+an associative ``merge``.
+
+A *kernel* is any picklable callable ``(n_trials, rng) -> partial_result``
+(configuration — code, noise model, decoder choice — is carried on the kernel
+object itself, e.g. a frozen dataclass), and ``merge`` is an associative,
+commutative combiner of two partials.  The default merge sums numeric count
+tuples, which covers every counting experiment in the repo.
 
 Seeding contract
 ----------------
@@ -13,26 +21,37 @@ depends only on ``(seed, shard_index)`` — it is derived via
 ``SeedSequence(seed, spawn_key=(i,))``, i.e. exactly what
 ``SeedSequence(seed).spawn(n)[i]`` would produce for any ``n``.  The shard
 plan itself depends only on ``(trials, chunk_trials)``.  Together these make
-the engine **deterministic for a fixed** ``(seed, chunk_trials)``
-**independent of** ``workers`` — the same failure counts fall out whether the
+the runner **deterministic for a fixed** ``(seed, chunk_trials)``
+**independent of** ``workers`` — the same merged counts fall out whether the
 shards run in one process, in eight, or in a different assignment order.
 
-The sharded engine is *not* bit-identical to ``engine="batch"`` (each shard
-owns an independent child stream rather than a slice of the root stream), but
-it is exactly equal to running the batch engine once per shard with
-``rng=shard_rng(seed, i)`` and summing the counts — which is what the
+A sharded run is *not* bit-identical to one single-stream kernel call over
+the whole budget (each shard owns an independent child stream rather than a
+slice of the root stream), but it is exactly equal to calling the kernel once
+per shard with ``rng=shard_rng(seed, i)`` and merging — which is what the
 equivalence tests in ``tests/simulation/test_shard_engine.py`` pin.
 
 ``workers=1`` (or an unavailable ``ProcessPoolExecutor``, e.g. a sandbox
 without POSIX semaphores) runs the same shard plan sequentially in-process,
 so restricted CI environments still exercise every code path with identical
 results.
+
+Adaptive allocation
+-------------------
+:func:`run_sharded_adaptive` spawns shard *waves* by index until a
+:class:`~repro.simulation.monte_carlo.WilsonStoppingRule` reports the tracked
+proportion's confidence interval tight enough.  The wave schedule (cover
+``min_trials``, then double the consumed trials each round, clamped to
+``max_trials``) is a pure function of the observed counts, so adaptive runs
+inherit the same worker-independent determinism.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
@@ -41,6 +60,7 @@ from repro.decoders.base import Decoder
 from repro.exceptions import ConfigurationError
 from repro.noise.models import NoiseModel
 from repro.noise.rng import resolve_entropy, shard_rng
+from repro.simulation.monte_carlo import WilsonStoppingRule, wilson_interval
 from repro.types import StabilizerType
 
 #: Trials per shard.  Small enough that a paper-scale budget yields plenty of
@@ -48,12 +68,15 @@ from repro.types import StabilizerType
 #: batch-engine vectorisation and per-process decoder construction amortise.
 DEFAULT_SHARD_TRIALS = 500
 
+#: A picklable ``(n_trials, rng) -> partial_result`` shard workload.
+ShardKernel = Callable[[int, np.random.Generator], Any]
+
 
 def plan_shards(trials: int, chunk_trials: int) -> list[int]:
     """Split ``trials`` into the per-shard trial counts.
 
     The plan depends only on ``(trials, chunk_trials)`` — never on the worker
-    count — which is half of the engine's determinism guarantee (the other
+    count — which is half of the runner's determinism guarantee (the other
     half is :func:`repro.noise.rng.shard_rng`).
     """
     if trials <= 0:
@@ -64,34 +87,250 @@ def plan_shards(trials: int, chunk_trials: int) -> list[int]:
     return [chunk_trials] * full + ([remainder] if remainder else [])
 
 
-def _run_shard(
-    code: RotatedSurfaceCode,
-    noise: NoiseModel,
-    decoder_factory: Callable[[RotatedSurfaceCode, StabilizerType], Decoder],
-    shard_trials: int,
-    rounds: int | None,
-    stype: StabilizerType,
-    seed: int,
-    shard_index: int,
-) -> tuple[int, int, int, str]:
-    """Run one shard through the batch engine (top-level so it pickles)."""
-    from repro.simulation.batch import run_memory_experiment_batch
+def merge_counts(left: tuple, right: tuple) -> tuple:
+    """Default associative merge: elementwise sum of numeric count tuples."""
+    return tuple(a + b for a, b in zip(left, right))
 
-    result = run_memory_experiment_batch(
-        code,
-        noise,
-        decoder_factory,
-        trials=shard_trials,
-        rounds=rounds,
-        stype=stype,
-        rng=shard_rng(seed, shard_index),
+
+def _resolve_seed(seed: int | None) -> int:
+    if isinstance(seed, np.random.Generator):
+        raise ConfigurationError(
+            "sharded runs need an integer seed (or None), not a Generator: "
+            "generator state cannot be split deterministically across shards"
+        )
+    return resolve_entropy(seed)
+
+
+def _resolve_workers(workers: int | None) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 0:
+        raise ConfigurationError(f"workers must be positive, got {workers}")
+    return workers
+
+
+def _run_kernel_shard(
+    kernel: ShardKernel, shard_trials: int, seed: int, shard_index: int
+) -> Any:
+    """Run one shard under the seeding contract (top-level so it pickles)."""
+    return kernel(shard_trials, shard_rng(seed, shard_index))
+
+
+def _run_kernel_shard_args(args: tuple) -> Any:
+    """``pool.map`` adapter (top-level so it pickles)."""
+    return _run_kernel_shard(*args)
+
+
+@contextmanager
+def _shard_mapper(workers: int) -> Iterator[Callable[[list[tuple]], list]]:
+    """Yield a mapper over shard-arg tuples, pooled when ``workers > 1``.
+
+    Environments without working multiprocessing primitives (no POSIX
+    semaphores, no forking) raise while *constructing* the pool (its queues
+    allocate locks/semaphores eagerly); since worker count never affects
+    results, falling back to the sequential path there is safe.  Only
+    construction is guarded — an error raised by shard code itself must
+    propagate, not silently re-run the whole budget in-process.
+    """
+
+    def sequential(arg_tuples: list[tuple]) -> list:
+        return [_run_kernel_shard(*args) for args in arg_tuples]
+
+    if workers == 1:
+        yield sequential
+        return
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (ImportError, NotImplementedError, OSError, PermissionError):
+        yield sequential
+        return
+    with pool:
+        yield lambda arg_tuples: list(pool.map(_run_kernel_shard_args, arg_tuples))
+
+
+def run_sharded(
+    kernel: ShardKernel,
+    trials: int,
+    seed: int | None = None,
+    chunk_trials: int = DEFAULT_SHARD_TRIALS,
+    workers: int | None = None,
+    merge: Callable[[Any, Any], Any] = merge_counts,
+) -> Any:
+    """Run ``kernel`` over a deterministic shard plan and merge the partials.
+
+    Args:
+        kernel: picklable ``(n_trials, rng) -> partial_result`` callable.
+        trials: total trial budget, split by :func:`plan_shards`.
+        seed: integer seed (or ``None`` for fresh entropy, drawn once and
+            shared by all shards).  A ready-made generator is *not* accepted:
+            its state cannot be split deterministically across processes.
+        chunk_trials: trials per shard; with the seed it fully determines the
+            result (see the module docstring).
+        workers: process count; defaults to ``os.cpu_count()``.  ``1`` runs
+            the shards sequentially in-process.  The value never affects the
+            merged result, only wall-clock time.
+        merge: associative, commutative combiner of two partial results.
+    """
+    seed = _resolve_seed(seed)
+    workers = _resolve_workers(workers)
+    shards = plan_shards(trials, chunk_trials)
+    shard_args = [
+        (kernel, shard_trials, seed, index)
+        for index, shard_trials in enumerate(shards)
+    ]
+    with _shard_mapper(min(workers, len(shards))) as mapper:
+        outcomes = mapper(shard_args)
+    merged = outcomes[0]
+    for outcome in outcomes[1:]:
+        merged = merge(merged, outcome)
+    return merged
+
+
+@dataclass(frozen=True)
+class AdaptiveShardRun:
+    """Outcome of :func:`run_sharded_adaptive`.
+
+    Attributes:
+        value: the merged kernel partials.
+        trials: trials actually consumed (``min_trials`` .. ``max_trials``).
+        successes: tracked-proportion successes in the merged partials.
+        interval: final Wilson interval of the tracked proportion.
+        shards: number of shards (RNG stream indices) consumed.
+    """
+
+    value: Any
+    trials: int
+    successes: int
+    interval: tuple[float, float]
+    shards: int
+
+    @property
+    def width(self) -> float:
+        return self.interval[1] - self.interval[0]
+
+    @property
+    def proportion(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+
+def run_sharded_adaptive(
+    kernel: ShardKernel,
+    stop: WilsonStoppingRule,
+    successes_of: Callable[[Any], int],
+    seed: int | None = None,
+    chunk_trials: int = DEFAULT_SHARD_TRIALS,
+    workers: int | None = None,
+    merge: Callable[[Any, Any], Any] = merge_counts,
+) -> AdaptiveShardRun:
+    """Spawn shard waves by index until ``stop`` is satisfied.
+
+    The first wave covers ``stop.min_trials`` trials; each later wave doubles
+    the consumed trial count (``stop.next_wave``), clamped to
+    ``stop.max_trials``.  Shards are consumed strictly by index under the
+    module's seeding contract and the wave schedule is a pure function of the
+    observed counts, so the run is deterministic for a fixed
+    ``(seed, chunk_trials)`` independent of ``workers`` and across reruns.
+
+    Args:
+        stop: the Wilson-convergence rule (see
+            :func:`repro.simulation.monte_carlo.until_wilson`).
+        successes_of: extracts the tracked proportion's success count from a
+            merged partial result (called in the parent process only).
+
+    Returns:
+        An :class:`AdaptiveShardRun` with the merged value, the trials
+        actually consumed, and the final Wilson interval.
+    """
+    seed = _resolve_seed(seed)
+    workers = _resolve_workers(workers)
+    merged: Any = None
+    trials_done = 0
+    next_index = 0
+    wave = stop.min_trials
+    with _shard_mapper(workers) as mapper:
+        while wave > 0:
+            sizes = plan_shards(wave, chunk_trials)
+            shard_args = [
+                (kernel, shard_trials, seed, next_index + offset)
+                for offset, shard_trials in enumerate(sizes)
+            ]
+            outcomes = mapper(shard_args)
+            next_index += len(sizes)
+            trials_done += wave
+            for outcome in outcomes:
+                merged = outcome if merged is None else merge(merged, outcome)
+            if stop.satisfied(successes_of(merged), trials_done):
+                break
+            wave = stop.next_wave(trials_done)
+    successes = successes_of(merged)
+    return AdaptiveShardRun(
+        value=merged,
+        trials=trials_done,
+        successes=successes,
+        interval=wilson_interval(successes, trials_done, stop.z),
+        shards=next_index,
     )
-    return (
-        result.logical_failures,
-        result.onchip_rounds,
-        result.total_rounds,
-        result.decoder_name,
-    )
+
+
+# ----------------------------------------------------------------------
+# Memory-experiment kernel (the original consumer of the shard layer)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MemoryKernel:
+    """Picklable memory-experiment shard kernel (rides the batch engine).
+
+    Partial results are ``(logical_failures, onchip_rounds, total_rounds,
+    decoder_name)`` tuples, merged with :func:`merge_memory_counts`.
+    """
+
+    code: RotatedSurfaceCode
+    noise: NoiseModel
+    decoder_factory: Callable[[RotatedSurfaceCode, StabilizerType], Decoder]
+    rounds: int
+    stype: StabilizerType
+
+    def __call__(
+        self, shard_trials: int, rng: np.random.Generator
+    ) -> tuple[int, int, int, str]:
+        from repro.simulation.batch import run_memory_experiment_batch
+
+        result = run_memory_experiment_batch(
+            self.code,
+            self.noise,
+            self.decoder_factory,
+            trials=shard_trials,
+            rounds=self.rounds,
+            stype=self.stype,
+            rng=rng,
+        )
+        return (
+            result.logical_failures,
+            result.onchip_rounds,
+            result.total_rounds,
+            result.decoder_name,
+        )
+
+
+def merge_memory_counts(
+    left: tuple[int, int, int, str], right: tuple[int, int, int, str]
+) -> tuple[int, int, int, str]:
+    """Associative merge for :class:`MemoryKernel` partials."""
+    return (left[0] + right[0], left[1] + right[1], left[2] + right[2], left[3])
+
+
+def _memory_successes(counts: tuple[int, int, int, str]) -> int:
+    """Tracked proportion for adaptive memory runs: the logical-failure count."""
+    return counts[0]
+
+
+def _resolve_rounds(code: RotatedSurfaceCode, rounds: int | None) -> int:
+    if rounds is None:
+        rounds = code.distance
+    if rounds <= 0:
+        raise ConfigurationError(f"rounds must be positive, got {rounds}")
+    return rounds
 
 
 def run_memory_experiment_sharded(
@@ -110,8 +349,7 @@ def run_memory_experiment_sharded(
 
     Args:
         rng: integer seed (or ``None`` for fresh entropy, drawn once and
-            shared by all shards).  A ready-made generator is *not* accepted:
-            its state cannot be split deterministically across processes.
+            shared by all shards).  A ready-made generator is *not* accepted.
         chunk_trials: trials per shard; with the seed it fully determines the
             result (see the module docstring).
         workers: process count; defaults to ``os.cpu_count()``.  ``1`` runs
@@ -122,74 +360,79 @@ def run_memory_experiment_sharded(
     # ``engine="sharded"`` switch, so a module-level import would be circular.
     from repro.simulation.memory import MemoryExperimentResult
 
-    if isinstance(rng, np.random.Generator):
-        raise ConfigurationError(
-            "engine='sharded' needs an integer seed (or None), not a Generator: "
-            "generator state cannot be split deterministically across shards"
-        )
-    if rounds is None:
-        rounds = code.distance
-    if rounds <= 0:
-        raise ConfigurationError(f"rounds must be positive, got {rounds}")
-    if workers is None:
-        workers = os.cpu_count() or 1
-    if workers <= 0:
-        raise ConfigurationError(f"workers must be positive, got {workers}")
-
-    seed = resolve_entropy(rng)
-    shards = plan_shards(trials, chunk_trials)
-
-    shard_args = [
-        (code, noise, decoder_factory, shard_trials, rounds, stype, seed, index)
-        for index, shard_trials in enumerate(shards)
-    ]
-    if workers == 1 or len(shards) == 1:
-        outcomes = [_run_shard(*args) for args in shard_args]
-    else:
-        outcomes = _run_shards_in_pool(shard_args, workers)
-
-    failures = sum(outcome[0] for outcome in outcomes)
-    onchip_rounds = sum(outcome[1] for outcome in outcomes)
-    total_rounds = sum(outcome[2] for outcome in outcomes)
+    rounds = _resolve_rounds(code, rounds)
+    failures, onchip_rounds, total_rounds, kernel_name = run_sharded(
+        MemoryKernel(code, noise, decoder_factory, rounds, stype),
+        trials=trials,
+        seed=rng,
+        chunk_trials=chunk_trials,
+        workers=workers,
+        merge=merge_memory_counts,
+    )
     return MemoryExperimentResult(
         physical_error_rate=noise.data_error_rate,
         code_distance=code.distance,
         rounds=rounds,
         trials=trials,
         logical_failures=failures,
-        decoder_name=decoder_name or outcomes[0][3],
+        decoder_name=decoder_name or kernel_name,
         onchip_rounds=onchip_rounds,
         total_rounds=total_rounds,
     )
 
 
-def _run_shards_in_pool(shard_args: list[tuple], workers: int) -> list[tuple]:
-    """Fan the shards out over a process pool, in-process on pool failure.
+def run_memory_experiment_adaptive(
+    code: RotatedSurfaceCode,
+    noise: NoiseModel,
+    decoder_factory: Callable[[RotatedSurfaceCode, StabilizerType], Decoder],
+    stop: WilsonStoppingRule,
+    rounds: int | None = None,
+    stype: StabilizerType = StabilizerType.X,
+    rng: int | None = None,
+    decoder_name: str | None = None,
+    chunk_trials: int = DEFAULT_SHARD_TRIALS,
+    workers: int | None = None,
+):
+    """Adaptive memory experiment: shards until the failure-rate CI converges.
 
-    Environments without working multiprocessing primitives (no POSIX
-    semaphores, no forking) raise while *constructing* the pool (its queues
-    allocate locks/semaphores eagerly); since worker count never affects
-    results, falling back to the sequential path there is safe.  Only
-    construction is guarded — an error raised by shard code itself must
-    propagate, not silently re-run the whole budget in-process.
+    The tracked proportion is the logical-failure rate; ``stop`` bounds the
+    budget (``stop.max_trials``) and the returned result's ``trials`` field
+    records what was actually consumed.
     """
-    try:
-        from concurrent.futures import ProcessPoolExecutor
+    from repro.simulation.memory import MemoryExperimentResult
 
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(shard_args)))
-    except (ImportError, NotImplementedError, OSError, PermissionError):
-        return [_run_shard(*args) for args in shard_args]
-    with pool:
-        return list(pool.map(_run_shard_args, shard_args))
-
-
-def _run_shard_args(args: tuple) -> tuple:
-    """``pool.map`` adapter (top-level so it pickles)."""
-    return _run_shard(*args)
+    rounds = _resolve_rounds(code, rounds)
+    run = run_sharded_adaptive(
+        MemoryKernel(code, noise, decoder_factory, rounds, stype),
+        stop=stop,
+        successes_of=_memory_successes,
+        seed=rng,
+        chunk_trials=chunk_trials,
+        workers=workers,
+        merge=merge_memory_counts,
+    )
+    failures, onchip_rounds, total_rounds, kernel_name = run.value
+    return MemoryExperimentResult(
+        physical_error_rate=noise.data_error_rate,
+        code_distance=code.distance,
+        rounds=rounds,
+        trials=run.trials,
+        logical_failures=failures,
+        decoder_name=decoder_name or kernel_name,
+        onchip_rounds=onchip_rounds,
+        total_rounds=total_rounds,
+    )
 
 
 __all__ = [
     "DEFAULT_SHARD_TRIALS",
+    "AdaptiveShardRun",
+    "MemoryKernel",
+    "merge_counts",
+    "merge_memory_counts",
     "plan_shards",
+    "run_sharded",
+    "run_sharded_adaptive",
+    "run_memory_experiment_adaptive",
     "run_memory_experiment_sharded",
 ]

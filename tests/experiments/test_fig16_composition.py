@@ -1,0 +1,72 @@
+"""Fig. 16 composition: sharded coverage feeds the bandwidth pipeline identically.
+
+Fig. 16 composes three stages — Clique coverage measurement, percentile
+provisioning, stall simulation.  These tests pin that swapping the coverage
+stage onto the sharded engine changes nothing downstream: the measured
+off-chip rate feeds ``provision_for_percentile`` and ``StallSimulator``
+exactly as a manual composition of the same seeded pieces does, and the rows
+are bit-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+from repro.bandwidth.allocation import provision_for_percentile
+from repro.bandwidth.stalling import StallSimulator
+from repro.codes.rotated_surface import get_code
+from repro.experiments import fig16
+from repro.noise.models import PhenomenologicalNoise
+from repro.noise.rng import point_seed
+from repro.simulation.coverage import simulate_clique_coverage
+
+OPERATING_POINTS = ((1e-2, 5),)
+PERCENTILES = (90.0, 99.0)
+SEED = 11
+COVERAGE_CYCLES = 3000
+PROGRAM_CYCLES = 1500
+NUM_QUBITS = 200
+
+
+def _run_fig16(workers):
+    return fig16.run(
+        operating_points=OPERATING_POINTS,
+        percentiles=PERCENTILES,
+        num_logical_qubits=NUM_QUBITS,
+        program_cycles=PROGRAM_CYCLES,
+        coverage_cycles=COVERAGE_CYCLES,
+        seed=SEED,
+        workers=workers,
+        chunk_cycles=1000,
+    )
+
+
+class TestFig16ShardedComposition:
+    def test_sharded_coverage_feeds_pipeline_identically_to_manual_loop(self):
+        result = _run_fig16(workers=1)
+        # Manually recompose the pipeline from the same seeded pieces: the
+        # sharded coverage measurement, then the exact provisioning and stall
+        # simulation the loop path performs.
+        coverage = simulate_clique_coverage(
+            get_code(5),
+            PhenomenologicalNoise(1e-2),
+            COVERAGE_CYCLES,
+            rng=point_seed(SEED, 0),
+            workers=1,
+            chunk_cycles=1000,
+        )
+        offchip_rate = max(coverage.offchip_fraction, 1.0 / coverage.cycles)
+        for percentile_index, percentile in enumerate(PERCENTILES):
+            plan = provision_for_percentile(NUM_QUBITS, offchip_rate, percentile)
+            stall = StallSimulator(
+                plan, seed=point_seed(SEED, 0, percentile_index)
+            ).run(PROGRAM_CYCLES)
+            row = result.rows[percentile_index]
+            assert row["offchip_rate_per_qubit"] == offchip_rate
+            assert row["provisioned_decodes_per_cycle"] == plan.decodes_per_cycle
+            assert row["bandwidth_reduction_x"] == plan.bandwidth_reduction
+            assert row["execution_time_increase_pct"] == (
+                100.0 * stall.execution_time_increase
+            )
+            assert row["completed"] == stall.completed
+
+    def test_rows_are_identical_across_worker_counts(self):
+        assert _run_fig16(workers=1).rows == _run_fig16(workers=4).rows

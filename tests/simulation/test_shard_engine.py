@@ -19,8 +19,16 @@ from repro.exceptions import ConfigurationError
 from repro.noise.models import PhenomenologicalNoise
 from repro.noise.rng import resolve_entropy, shard_rng
 from repro.simulation.batch import run_memory_experiment_batch
+from repro.simulation.coverage import CoverageKernel, simulate_clique_coverage
 from repro.simulation.memory import run_memory_experiment
-from repro.simulation.shard import plan_shards, run_memory_experiment_sharded
+from repro.simulation.shard import (
+    plan_shards,
+    run_memory_experiment_sharded,
+    run_sharded,
+)
+from repro.types import StabilizerType
+
+from shard_kernels import BernoulliKernel
 
 
 # Sharded workers rebuild the decoder, so factories must be module-level
@@ -31,6 +39,109 @@ def _hierarchical(code, stype):
 
 def _hierarchical_uf(code, stype):
     return HierarchicalDecoder(code, stype, fallback="union_find")
+
+
+class TestGenericRunner:
+    def test_merged_counts_equal_manual_per_shard_runs(self):
+        kernel = BernoulliKernel(0.3)
+        seed, chunk = 13, 250
+        successes, trials = run_sharded(
+            kernel, trials=1100, seed=seed, chunk_trials=chunk, workers=1
+        )
+        manual = sum(
+            kernel(size, shard_rng(seed, index))[0]
+            for index, size in enumerate(plan_shards(1100, chunk))
+        )
+        assert trials == 1100
+        assert successes == manual
+
+    def test_workers_do_not_affect_merged_result(self):
+        results = [
+            run_sharded(
+                BernoulliKernel(0.2), trials=900, seed=5, chunk_trials=200, workers=w
+            )
+            for w in (1, 2, 4)
+        ]
+        assert results[1:] == results[:-1]
+
+    def test_custom_merge_is_used(self):
+        best = run_sharded(
+            BernoulliKernel(0.5),
+            trials=600,
+            seed=3,
+            chunk_trials=200,
+            workers=1,
+            merge=lambda a, b: a if a[0] >= b[0] else b,
+        )
+        per_shard = [
+            BernoulliKernel(0.5)(size, shard_rng(3, index))
+            for index, size in enumerate(plan_shards(600, 200))
+        ]
+        assert best[0] == max(counts[0] for counts in per_shard)
+
+    def test_generator_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded(BernoulliKernel(0.1), trials=100, seed=np.random.default_rng(1))
+
+
+class TestShardedCoverage:
+    @pytest.mark.parametrize("distance", [5, 7])
+    def test_matches_per_shard_kernel_runs(self, distance):
+        # The sharded coverage merge must equal running the kernel once per
+        # shard with the contract's generators and summing the counts.
+        code = get_code(distance)
+        noise = PhenomenologicalNoise(5e-3)
+        seed, chunk, cycles = 31, 1500, 5000
+        sharded = simulate_clique_coverage(
+            code, noise, cycles, rng=seed, workers=1, chunk_cycles=chunk
+        )
+        kernel = CoverageKernel(code, noise, StabilizerType.X, 2)
+        onchip = all_zero = 0
+        for index, size in enumerate(plan_shards(cycles, chunk)):
+            shard_onchip, shard_zero, shard_cycles = kernel(size, shard_rng(seed, index))
+            assert shard_cycles == size
+            onchip += shard_onchip
+            all_zero += shard_zero
+        assert sharded.cycles == cycles
+        assert sharded.onchip_cycles == onchip
+        assert sharded.all_zero_cycles == all_zero
+
+    def test_workers_do_not_affect_coverage(self, code_d5):
+        noise = PhenomenologicalNoise(1e-2)
+        single, pooled = [
+            simulate_clique_coverage(
+                code_d5, noise, 6000, rng=5, workers=workers, chunk_cycles=1000
+            )
+            for workers in (1, 4)
+        ]
+        assert single.onchip_cycles == pooled.onchip_cycles
+        assert single.all_zero_cycles == pooled.all_zero_cycles
+
+    def test_prebuilt_decoder_rejected_on_sharded_path(self, code_d3):
+        from repro.clique.decoder import CliqueDecoder
+
+        with pytest.raises(ConfigurationError):
+            simulate_clique_coverage(
+                code_d3,
+                PhenomenologicalNoise(1e-2),
+                1000,
+                rng=1,
+                workers=1,
+                decoder=CliqueDecoder(code_d3, StabilizerType.X),
+            )
+
+    def test_min_cycles_without_width_target_rejected(self, code_d3):
+        # A sampling floor only applies to adaptive runs; silently ignoring
+        # it would suggest it was enforced.
+        with pytest.raises(ConfigurationError):
+            simulate_clique_coverage(
+                code_d3,
+                PhenomenologicalNoise(1e-2),
+                1000,
+                rng=1,
+                workers=1,
+                min_cycles=500,
+            )
 
 
 class TestShardPlan:
