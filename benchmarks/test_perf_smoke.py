@@ -18,7 +18,11 @@ tracked across PRs:
 * ``adaptive`` (schema v3) — adaptive-vs-fixed trial counts at equal
   confidence width on the d=5 paper point: the fixed ``PAPER_TRIAL_BUDGETS``
   run's achieved Wilson width becomes the adaptive target, and the adaptive
-  run must hit it with at most the fixed budget.
+  run must hit it with at most the fixed budget;
+* ``store`` (schema v4) — the warm-store re-run speedup of a fig11 coverage
+  sweep against a fresh result store: the warm run must reproduce the cold
+  run's rows byte-identically while invoking zero Monte-Carlo kernels, so
+  its wall-clock is pure store overhead.
 
 The run is deliberately kept out of the tier-1 fast path: set
 ``REPRO_PERF_SMOKE=1`` to enable it, e.g.
@@ -30,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -39,6 +44,7 @@ import pytest
 from repro.clique.hierarchical import HierarchicalDecoder
 from repro.codes.rotated_surface import get_code
 from repro.experiments.fig14 import PAPER_TRIAL_BUDGETS
+from repro.experiments.registry import run_experiment
 from repro.noise.models import PhenomenologicalNoise
 from repro.simulation.coverage import simulate_clique_coverage
 from repro.simulation.memory import run_memory_experiment
@@ -46,7 +52,7 @@ from repro.simulation.monte_carlo import until_wilson, wilson_width
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_memory.json"
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 DISTANCE = 5
 ERROR_RATE = 1e-2
 TRIALS = 1_000
@@ -65,6 +71,14 @@ MIN_SHARDED_SPEEDUP = 3.0
 #: At workers=1 the sharded engine is the batch engine plus shard plumbing;
 #: allow bounded overhead but fail on a real regression.
 MAX_SINGLE_WORKER_OVERHEAD = 2.0
+
+#: Warm-store fig11 workload: a re-run against a populated store does zero
+#: Monte-Carlo work, so anything below this speedup means the store itself
+#: (hashing + JSONL decode) became a bottleneck.
+STORE_SWEEP = dict(
+    cycles=20_000, distances=(3, 5, 7, 9), error_rates=(1e-3, 1e-2), seed=2026
+)
+MIN_WARM_STORE_SPEEDUP = 5.0
 
 pytestmark = pytest.mark.skipif(
     os.environ.get("REPRO_PERF_SMOKE") != "1",
@@ -197,6 +211,24 @@ def test_engine_and_fallback_throughput_bench_record():
         "trials_saved_pct": round(100.0 * (1 - adaptive.trials / fixed.trials), 1),
     }
 
+    # --- warm-store re-run speedup (schema v4) ----------------------------
+    with tempfile.TemporaryDirectory() as store_dir:
+        start = time.perf_counter()
+        cold_sweep = run_experiment("fig11", store=store_dir, **STORE_SWEEP)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_sweep = run_experiment("fig11", store=store_dir, **STORE_SWEEP)
+        warm_seconds = time.perf_counter() - start
+    store_speedup = cold_seconds / warm_seconds
+    store_record = {
+        "experiment": "fig11",
+        "cycles": STORE_SWEEP["cycles"],
+        "points": len(cold_sweep.rows),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(store_speedup, 1),
+    }
+
     record = {
         "schema_version": SCHEMA_VERSION,
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -228,6 +260,7 @@ def test_engine_and_fallback_throughput_bench_record():
             "runs": coverage_runs,
         },
         "adaptive": adaptive_record,
+        "store": store_record,
         "batch_speedup": round(batch_speedup, 2),
     }
     history = []
@@ -258,6 +291,13 @@ def test_engine_and_fallback_throughput_bench_record():
     # budget cap) and never burns more than the fixed budget.
     assert adaptive_width <= target_width or adaptive.trials == fixed_budget
     assert adaptive.trials <= fixed.trials
+
+    # The warm store run serves every point from disk: identical rows, and
+    # fast enough that the store itself is clearly not a bottleneck.
+    assert warm_sweep.rows == cold_sweep.rows
+    assert store_speedup >= MIN_WARM_STORE_SPEEDUP, (
+        f"warm-store re-run speedup regressed: {store_speedup:.1f}x"
+    )
 
     # Throughput gates.
     assert batch_speedup >= MIN_BATCH_SPEEDUP, (

@@ -8,9 +8,14 @@ resulting execution stalling to pick a provisioning that trades a few
 percent of execution time for an order-of-magnitude bandwidth reduction.
 
 Run with:  python examples/bandwidth_provisioning.py
+
+``REPRO_EXAMPLE_CYCLES`` shrinks the Monte-Carlo budgets (the test suite's
+smoke lane runs every example this way).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import PhenomenologicalNoise, RotatedSurfaceCode, simulate_clique_coverage
 from repro.bandwidth.allocation import provision_for_percentile
@@ -20,7 +25,8 @@ from repro.bandwidth.traffic import syndrome_bits_per_cycle
 NUM_LOGICAL_QUBITS = 1000
 PHYSICAL_ERROR_RATE = 1e-2
 CODE_DISTANCE = 11
-PROGRAM_CYCLES = 20_000
+PROGRAM_CYCLES = int(os.environ.get("REPRO_EXAMPLE_CYCLES", "20000"))
+COVERAGE_CYCLES = int(os.environ.get("REPRO_EXAMPLE_CYCLES", "50000"))
 PERCENTILES = (50.0, 90.0, 95.0, 99.0, 99.9, 99.99)
 
 
@@ -28,7 +34,7 @@ def main() -> None:
     code = RotatedSurfaceCode(CODE_DISTANCE)
     noise = PhenomenologicalNoise(PHYSICAL_ERROR_RATE)
 
-    coverage = simulate_clique_coverage(code, noise, num_cycles=50_000, rng=1)
+    coverage = simulate_clique_coverage(code, noise, num_cycles=COVERAGE_CYCLES, rng=1)
     print(f"Operating point: p={PHYSICAL_ERROR_RATE}, d={CODE_DISTANCE}")
     print(f"Clique coverage: {coverage.coverage:.2%} "
           f"(off-chip rate per qubit per cycle: {coverage.offchip_fraction:.4f})")

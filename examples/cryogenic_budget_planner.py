@@ -12,9 +12,14 @@ factoring-scale) and a physical error rate, this script:
 4. estimates the off-chip bandwidth left after BTWC filtering.
 
 Run with:  python examples/cryogenic_budget_planner.py
+
+``REPRO_EXAMPLE_CYCLES`` shrinks the coverage Monte-Carlo budget (the test
+suite's smoke lane runs every example this way).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import (
     PhenomenologicalNoise,
@@ -32,6 +37,7 @@ APPLICATIONS = (
 )
 PHYSICAL_ERROR_RATES = (5e-3, 1e-3, 5e-4)
 SYNDROME_CYCLE_HZ = 1e6  # one decode cycle per microsecond
+COVERAGE_CYCLES = int(os.environ.get("REPRO_EXAMPLE_CYCLES", "20000"))
 
 
 def main() -> None:
@@ -50,7 +56,7 @@ def main() -> None:
             comparison = compare_with_nisqplus(distance)
             code = RotatedSurfaceCode(distance)
             coverage = simulate_clique_coverage(
-                code, PhenomenologicalNoise(physical_error_rate), 20_000, rng=3
+                code, PhenomenologicalNoise(physical_error_rate), COVERAGE_CYCLES, rng=3
             )
             offchip_bits = (
                 syndrome_bits_per_cycle(distance)

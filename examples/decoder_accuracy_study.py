@@ -7,9 +7,14 @@ logical error rates with confidence intervals and the fraction of rounds the
 hierarchy kept on-chip.
 
 Run with:  python examples/decoder_accuracy_study.py
+
+``REPRO_EXAMPLE_TRIALS`` shrinks the per-point trial budget (the test
+suite's smoke lane runs every example this way).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import (
     ClusteringDecoder,
@@ -22,7 +27,7 @@ from repro import (
 
 DISTANCES = (3, 5)
 ERROR_RATES = (5e-3, 1e-2, 2e-2)
-TRIALS = 800
+TRIALS = int(os.environ.get("REPRO_EXAMPLE_TRIALS", "800"))
 
 DECODERS = {
     "MWPM (baseline)": lambda code, stype: MWPMDecoder(code, stype),

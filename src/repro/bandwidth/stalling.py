@@ -86,8 +86,10 @@ class StallSimulator:
     """
 
     def __init__(self, plan: BandwidthPlan, seed: int | np.random.Generator | None = None) -> None:
-        if plan.decodes_per_cycle < 1:
-            raise BandwidthConfigurationError("provisioned bandwidth must be >= 1 decode/cycle")
+        if plan.decodes_per_cycle < 0:
+            raise BandwidthConfigurationError(
+                "provisioned bandwidth must be >= 0 decodes/cycle"
+            )
         self._plan = plan
         self._rng = make_rng(seed)
 
@@ -110,6 +112,12 @@ class StallSimulator:
             abort_backlog_factor: abort and report ``completed=False`` once the
                 carryover backlog exceeds this multiple of the provisioned
                 per-cycle capacity — the signature of an unstable allocation.
+
+        A zero-capacity plan with a non-zero ``offchip_rate`` is the
+        degenerate instance of that regime and returns the infinite-stalling
+        report immediately: ``completed=False`` and therefore
+        ``execution_time_increase == inf`` (with ``offchip_rate == 0`` there
+        is nothing to serve and the program completes stall-free).
         """
         if program_cycles <= 0:
             raise BandwidthConfigurationError(
@@ -117,6 +125,24 @@ class StallSimulator:
             )
         plan = self._plan
         capacity = plan.decodes_per_cycle
+        if capacity == 0 and plan.offchip_rate > 0.0:
+            # Zero provisioned capacity with any demand is the "infinite
+            # stalling" regime by definition: the first off-chip request can
+            # never be served, so the backlog diverges with certainty.  With
+            # the general loop below this would also fall out implicitly —
+            # ``abort_threshold = abort_backlog_factor * 0 = 0`` makes the
+            # first carryover abort — but that path hinges on a product that
+            # a refactor could easily turn into a ZeroDivision or an
+            # infinite loop, so the regime is reported explicitly (and
+            # without consuming any RNG stream).
+            return StallSimulationResult(
+                plan=plan,
+                program_cycles=0,
+                stall_cycles=0,
+                completed=False,
+                max_backlog=0,
+                records=[],
+            )
         abort_threshold = abort_backlog_factor * capacity
 
         executed = 0

@@ -11,6 +11,8 @@ Examples:
     repro-qec fig14 --scale paper --adaptive --target-ci-width 0.02
     repro-qec run fig14 --fallback union_find
     repro-qec run fig14_fallbacks --param trials=300
+    repro-qec fig14 --scale paper --store results/   # resume on re-run
+    repro-qec fig14 --scale paper --store results/ --force
 
 ``--engine`` selects the Monte-Carlo engine for memory experiments (fig14):
 ``batch`` (the default inside the library) vectorises trial triage — all
@@ -25,7 +27,10 @@ points to Wilson-converged adaptive sampling, and ``--adaptive`` does the
 same for fig14's logical-error-rate points (budget-capped by the scale's
 trial budgets).  ``--scale paper`` extends fig14 to the paper's d=3–11 grid
 with per-distance trial budgets; ``--fallback`` picks the hierarchy's
-off-chip decoder.
+off-chip decoder.  ``--store DIR`` persists every sweep point of the
+fig11/fig12/fig14/fig16 sweeps as it completes and makes re-runs resume
+(``--resume``, the default) or recompute (``--force``); see README.md →
+"Results and resume".
 """
 
 from __future__ import annotations
@@ -40,17 +45,29 @@ from repro.experiments.registry import available_experiments, run_experiment
 
 
 def _parse_scalar(text: str) -> object:
-    """Guess int/float/bool for one scalar token, falling back to the string."""
+    """Guess int/float/bool for one scalar token, falling back to the string.
+
+    Python's numeric literals accept underscore digit separators
+    (``int("1_0") == 10``), which on a command line is far more likely a typo
+    than intent — numeric-looking tokens containing ``_`` are rejected with a
+    clear error rather than silently parsed (non-numeric strings like
+    ``union_find`` pass through untouched).
+    """
     lowered = text.lower()
     if lowered in ("true", "false"):
         return lowered == "true"
-    try:
-        return int(text)
-    except ValueError:
+    for parse in (int, float):
         try:
-            return float(text)
+            value = parse(text)
         except ValueError:
-            return text
+            continue
+        if "_" in text:
+            raise argparse.ArgumentTypeError(
+                f"digit separators are not allowed in parameter values: {text!r} "
+                f"(did you mean {text.replace('_', '')!r}?)"
+            )
+        return value
+    return text
 
 
 def _parse_param(raw: str) -> tuple[str, object]:
@@ -58,13 +75,26 @@ def _parse_param(raw: str) -> tuple[str, object]:
 
     Comma-separated values become tuples (``distances=3,5,7`` — a trailing
     comma like ``distances=3,`` forces a one-element tuple), matching the
-    tuple-typed sweep-grid parameters the experiment runners take.
+    tuple-typed sweep-grid parameters the experiment runners take.  Empty
+    values (``trials=``) and empty tuple elements (``distances=3,,5``) are
+    rejected: both are silent-typo magnets, and an empty string reaching an
+    experiment runner as a keyword value never means what was typed.
     """
     if "=" not in raw:
         raise argparse.ArgumentTypeError(f"expected key=value, got {raw!r}")
     key, text = raw.split("=", 1)
+    if text == "":
+        raise argparse.ArgumentTypeError(f"empty value for parameter {key!r}: {raw!r}")
     if "," in text:
-        return key, tuple(_parse_scalar(part) for part in text.split(",") if part)
+        parts = text.split(",")
+        if parts[-1] == "":
+            # The documented trailing-comma one-element form (``distances=3,``).
+            parts = parts[:-1]
+        if not parts or any(part == "" for part in parts):
+            raise argparse.ArgumentTypeError(
+                f"empty element in tuple value for parameter {key!r}: {raw!r}"
+            )
+        return key, tuple(_parse_scalar(part) for part in parts)
     return key, _parse_scalar(text)
 
 
@@ -164,6 +194,33 @@ def build_parser() -> argparse.ArgumentParser:
             "'paper' (d=3-11 with per-distance trial budgets, sharded engine)"
         ),
     )
+    run_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent result store for the sweep experiments (fig11/fig12/"
+            "fig14/fig16): every sweep point is written to DIR as it "
+            "completes, and a re-run against the same DIR skips points that "
+            "are already present (adaptive points additionally checkpoint "
+            "per Wilson wave, so a killed run resumes mid-point)"
+        ),
+    )
+    resume_group = run_parser.add_mutually_exclusive_group()
+    resume_group.add_argument(
+        "--resume",
+        action="store_true",
+        default=True,
+        help=(
+            "with --store: reuse already-present points and compute only the "
+            "missing ones (the default)"
+        ),
+    )
+    resume_group.add_argument(
+        "--force",
+        action="store_true",
+        help="with --store: recompute every point and overwrite stored results",
+    )
     return parser
 
 
@@ -185,6 +242,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
+        if args.force and args.store is None:
+            parser.error("--force is only meaningful with --store DIR")
         params = dict(args.param)
         for flag in ("engine", "workers", "fallback", "scale", "chunk_cycles", "target_ci_width"):
             value = getattr(args, flag)
@@ -192,11 +251,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                 params[flag] = value
         if args.adaptive:
             params["adaptive"] = True
+        if args.store is not None:
+            params["store"] = args.store
+            if args.force:
+                params["force"] = True
         try:
             result = run_experiment(args.experiment, **params)
-        except (ReproError, TypeError, ValueError) as error:
+        except (ReproError, TypeError, ValueError, OSError) as error:
             # TypeError / ValueError typically mean a malformed --param value
-            # (e.g. a scalar where the runner expects a tuple).
+            # (e.g. a scalar where the runner expects a tuple); OSError an
+            # unusable --store directory discovered mid-run.
             print(f"error: {error}", file=sys.stderr)
             return 1
         print(result.format_table())

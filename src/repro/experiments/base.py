@@ -1,8 +1,13 @@
-"""Shared result container and text formatting for experiment runners."""
+"""Shared result container, text formatting, and store plumbing for runners."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.store import ResultStore, SweepCache
 
 
 @dataclass
@@ -68,4 +73,25 @@ class ExperimentResult:
         return "\n".join(parts) + "\n"
 
 
-__all__ = ["ExperimentResult"]
+def sweep_cache(
+    store: "ResultStore | str | Path | None",
+    experiment_id: str,
+    force: bool = False,
+) -> "SweepCache":
+    """Resolve a runner's ``store=`` argument into a per-sweep cache.
+
+    ``store`` may be a directory path (the CLI's ``--store DIR``), a ready
+    :class:`~repro.store.ResultStore`, or ``None`` — the returned
+    :class:`~repro.store.SweepCache` is a transparent pass-through in the
+    ``None`` case, so runners call ``cache.point(...)`` unconditionally.
+    ``force=True`` recomputes and overwrites every point instead of reusing
+    stored results.
+    """
+    # Imported here so the experiment layer only pays for the store when a
+    # runner is actually invoked (and to keep base.py import-light).
+    from repro.store import SweepCache, open_store
+
+    return SweepCache(open_store(store), experiment_id, force=force)
+
+
+__all__ = ["ExperimentResult", "sweep_cache"]

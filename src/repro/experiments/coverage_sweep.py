@@ -1,0 +1,91 @@
+"""Shared (error rate x distance) Clique-coverage sweep body.
+
+Fig. 11 and Fig. 12 are the same Monte-Carlo sweep read through different
+columns; this module owns the loop both runners delegate to — per-point
+spawn-key seeding, the sharded/adaptive engine knobs, and the result-store
+integration (each point stored under its resolved coverage config as it
+completes, reused on re-runs, checkpointed per Wilson wave when adaptive).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.codes.rotated_surface import get_code
+from repro.experiments.base import ExperimentResult
+from repro.noise.models import PhenomenologicalNoise
+from repro.noise.rng import point_seed
+from repro.simulation.coverage import (
+    CoverageResult,
+    resolve_coverage_config,
+    simulate_clique_coverage,
+)
+
+#: Builds one table row from a sweep point's (rate, distance, result).
+CoverageRowBuilder = Callable[[float, int, CoverageResult], dict[str, object]]
+
+
+def run_coverage_sweep(
+    cache,
+    experiment_id: str,
+    title: str,
+    cycles: int,
+    seed: int,
+    distances: tuple[int, ...],
+    error_rates: tuple[float, ...],
+    measurement_rounds: int,
+    workers: int | None,
+    chunk_cycles: int | None,
+    target_ci_width: float | None,
+    row_of: CoverageRowBuilder,
+    notes: str,
+) -> ExperimentResult:
+    """Run the coverage grid through a sweep cache and tabulate with ``row_of``.
+
+    ``cache`` is the runner's :class:`~repro.store.SweepCache` (a transparent
+    pass-through when no store is configured).
+    """
+    rows = []
+    for rate_index, error_rate in enumerate(error_rates):
+        noise = PhenomenologicalNoise(error_rate)
+        for distance_index, distance in enumerate(distances):
+            code = get_code(distance)
+            config = resolve_coverage_config(
+                cycles,
+                noise,
+                distance,
+                measurement_rounds=measurement_rounds,
+                workers=workers,
+                chunk_cycles=chunk_cycles,
+                target_ci_width=target_ci_width,
+            )
+            base_seed = point_seed(seed, rate_index, distance_index)
+            result = cache.point(
+                config,
+                base_seed,
+                lambda: simulate_clique_coverage(
+                    code,
+                    noise,
+                    cycles,
+                    measurement_rounds=measurement_rounds,
+                    rng=base_seed,
+                    workers=workers,
+                    chunk_cycles=chunk_cycles,
+                    target_ci_width=target_ci_width,
+                    checkpoint=(
+                        cache.checkpoint(config, base_seed)
+                        if target_ci_width is not None
+                        else None
+                    ),
+                ),
+            )
+            rows.append(row_of(error_rate, distance, result))
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        rows=rows,
+        notes=notes,
+    )
+
+
+__all__ = ["CoverageRowBuilder", "run_coverage_sweep"]

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-from repro.codes.rotated_surface import get_code
-from repro.experiments.base import ExperimentResult
-from repro.noise.models import PhenomenologicalNoise
-from repro.noise.rng import point_seed
-from repro.simulation.coverage import simulate_clique_coverage
+from repro.experiments.base import ExperimentResult, sweep_cache
+from repro.experiments.coverage_sweep import run_coverage_sweep
 
 DEFAULT_DISTANCES = (3, 5, 7, 9, 11, 13, 15, 17, 21)
 DEFAULT_ERROR_RATES = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
@@ -21,6 +18,8 @@ def run(
     workers: int | None = None,
     chunk_cycles: int | None = None,
     target_ci_width: float | None = None,
+    store: object | None = None,
+    force: bool = False,
 ) -> ExperimentResult:
     """Reproduce the Fig. 11 coverage curves (coverage vs distance per error rate).
 
@@ -32,45 +31,44 @@ def run(
     until the Wilson interval on its coverage reaches the target width (with
     ``cycles`` as the budget cap) — the ``cycles`` column then reports what
     each point actually consumed.
+
+    ``store`` (the CLI's ``--store DIR``) persists every sweep point as it
+    completes and reuses already-present points on re-runs, so an
+    interrupted sweep resumes where it stopped; adaptive points additionally
+    checkpoint per Wilson wave.  ``force`` recomputes and overwrites.
     """
-    rows = []
-    for rate_index, error_rate in enumerate(error_rates):
-        noise = PhenomenologicalNoise(error_rate)
-        for distance_index, distance in enumerate(distances):
-            code = get_code(distance)
-            result = simulate_clique_coverage(
-                code,
-                noise,
-                cycles,
-                measurement_rounds=measurement_rounds,
-                rng=point_seed(seed, rate_index, distance_index),
-                workers=workers,
-                chunk_cycles=chunk_cycles,
-                target_ci_width=target_ci_width,
-            )
-            low, high = result.coverage_interval
-            rows.append(
-                {
-                    "physical_error_rate": error_rate,
-                    "code_distance": distance,
-                    "cycles": result.cycles,
-                    "coverage_pct": 100.0 * result.coverage,
-                    "coverage_ci_low_pct": 100.0 * low,
-                    "coverage_ci_high_pct": 100.0 * high,
-                    "offchip_fraction": result.offchip_fraction,
-                }
-            )
-    notes = (
-        "Paper observation: coverage stays near/above ~70% even at a 1% physical\n"
-        "error rate and distance 21, and approaches 100% as the error rate or\n"
-        "distance decreases."
-    )
-    return ExperimentResult(
+    return run_coverage_sweep(
+        sweep_cache(store, "fig11", force),
         experiment_id="fig11",
         title="Clique on-chip decode coverage",
-        rows=rows,
-        notes=notes,
+        cycles=cycles,
+        seed=seed,
+        distances=distances,
+        error_rates=error_rates,
+        measurement_rounds=measurement_rounds,
+        workers=workers,
+        chunk_cycles=chunk_cycles,
+        target_ci_width=target_ci_width,
+        row_of=_fig11_row,
+        notes=(
+            "Paper observation: coverage stays near/above ~70% even at a 1% physical\n"
+            "error rate and distance 21, and approaches 100% as the error rate or\n"
+            "distance decreases."
+        ),
     )
+
+
+def _fig11_row(error_rate: float, distance: int, result) -> dict[str, object]:
+    low, high = result.coverage_interval
+    return {
+        "physical_error_rate": error_rate,
+        "code_distance": distance,
+        "cycles": result.cycles,
+        "coverage_pct": 100.0 * result.coverage,
+        "coverage_ci_low_pct": 100.0 * low,
+        "coverage_ci_high_pct": 100.0 * high,
+        "offchip_fraction": result.offchip_fraction,
+    }
 
 
 __all__ = ["run", "DEFAULT_DISTANCES", "DEFAULT_ERROR_RATES"]

@@ -2,12 +2,9 @@
 
 from __future__ import annotations
 
-from repro.codes.rotated_surface import get_code
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, sweep_cache
+from repro.experiments.coverage_sweep import run_coverage_sweep
 from repro.experiments.fig11 import DEFAULT_DISTANCES, DEFAULT_ERROR_RATES
-from repro.noise.models import PhenomenologicalNoise
-from repro.noise.rng import point_seed
-from repro.simulation.coverage import simulate_clique_coverage
 
 
 def run(
@@ -19,51 +16,49 @@ def run(
     workers: int | None = None,
     chunk_cycles: int | None = None,
     target_ci_width: float | None = None,
+    store: object | None = None,
+    force: bool = False,
 ) -> ExperimentResult:
     """Reproduce Fig. 12: how much real decoding work Clique does beyond zero suppression.
 
-    Seeding and engine selection follow :func:`repro.experiments.fig11.run`:
-    spawn-key per-point seeds, sharded coverage under ``workers`` /
-    ``chunk_cycles``, Wilson-adaptive sampling under ``target_ci_width``.
+    Seeding, engine selection, and result-store semantics follow
+    :func:`repro.experiments.fig11.run`: spawn-key per-point seeds, sharded
+    coverage under ``workers`` / ``chunk_cycles``, Wilson-adaptive sampling
+    under ``target_ci_width``, and per-point persistence/resume under
+    ``store`` / ``force``.
     """
-    rows = []
-    for rate_index, error_rate in enumerate(error_rates):
-        noise = PhenomenologicalNoise(error_rate)
-        for distance_index, distance in enumerate(distances):
-            code = get_code(distance)
-            result = simulate_clique_coverage(
-                code,
-                noise,
-                cycles,
-                measurement_rounds=measurement_rounds,
-                rng=point_seed(seed, rate_index, distance_index),
-                workers=workers,
-                chunk_cycles=chunk_cycles,
-                target_ci_width=target_ci_width,
-            )
-            rows.append(
-                {
-                    "physical_error_rate": error_rate,
-                    "code_distance": distance,
-                    "cycles": result.cycles,
-                    "onchip_not_all_zeros_pct": 100.0 * result.onchip_nonzero_share,
-                    "nonzero_handled_onchip_pct": 100.0 * result.nonzero_coverage,
-                    "all_zeros_pct": 100.0 * (result.all_zero_cycles / result.cycles),
-                }
-            )
-    notes = (
-        "Paper observation: near the surface-code threshold (highest error\n"
-        "rates) and at high code distances nearly all on-chip decodes carry a\n"
-        "non-zero signature, so zero-suppression alone (ship everything that is\n"
-        "not all-0s) would save almost no bandwidth — a real trivial-case\n"
-        "decoder like Clique is required."
-    )
-    return ExperimentResult(
+    return run_coverage_sweep(
+        sweep_cache(store, "fig12", force),
         experiment_id="fig12",
         title="On-chip decodes that are not all-zeros",
-        rows=rows,
-        notes=notes,
+        cycles=cycles,
+        seed=seed,
+        distances=distances,
+        error_rates=error_rates,
+        measurement_rounds=measurement_rounds,
+        workers=workers,
+        chunk_cycles=chunk_cycles,
+        target_ci_width=target_ci_width,
+        row_of=_fig12_row,
+        notes=(
+            "Paper observation: near the surface-code threshold (highest error\n"
+            "rates) and at high code distances nearly all on-chip decodes carry a\n"
+            "non-zero signature, so zero-suppression alone (ship everything that is\n"
+            "not all-0s) would save almost no bandwidth — a real trivial-case\n"
+            "decoder like Clique is required."
+        ),
     )
+
+
+def _fig12_row(error_rate: float, distance: int, result) -> dict[str, object]:
+    return {
+        "physical_error_rate": error_rate,
+        "code_distance": distance,
+        "cycles": result.cycles,
+        "onchip_not_all_zeros_pct": 100.0 * result.onchip_nonzero_share,
+        "nonzero_handled_onchip_pct": 100.0 * result.nonzero_coverage,
+        "all_zeros_pct": 100.0 * (result.all_zero_cycles / result.cycles),
+    }
 
 
 __all__ = ["run"]

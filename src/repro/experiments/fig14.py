@@ -28,11 +28,12 @@ from repro.clique.hierarchical import HierarchicalDecoder
 from repro.codes.rotated_surface import RotatedSurfaceCode, get_code
 from repro.decoders.mwpm import MWPMDecoder
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, sweep_cache
 from repro.noise.models import PhenomenologicalNoise
 from repro.noise.rng import point_seed
 from repro.simulation.memory import run_memory_experiment
-from repro.simulation.monte_carlo import until_wilson
+from repro.simulation.monte_carlo import WilsonStoppingRule, until_wilson
+from repro.simulation.shard import DEFAULT_SHARD_TRIALS
 from repro.types import StabilizerType
 
 DEFAULT_DISTANCES = (3, 5, 7)
@@ -89,6 +90,46 @@ def _resolve_scale(
     raise ConfigurationError(f"scale must be 'laptop' or 'paper', got {scale!r}")
 
 
+def _memory_point_config(
+    distance: int,
+    error_rate: float,
+    rounds: int | None,
+    trials: int,
+    engine: str,
+    decoder: str,
+    fallback: str | None,
+    stop: WilsonStoppingRule | None,
+) -> dict[str, object]:
+    """The fully resolved, stream-determining config of one fig14 point.
+
+    The result-store keying contract for one ``run_memory_experiment`` call:
+    defaults are resolved (rounds to the code distance, the sharded engine's
+    chunk size to :data:`~repro.simulation.shard.DEFAULT_SHARD_TRIALS`) so
+    implicit and explicit spellings key identically, and ``workers`` is
+    excluded because it never affects the counts.
+    """
+    return {
+        "kind": "memory",
+        "distance": distance,
+        "error_rate": error_rate,
+        "rounds": rounds if rounds is not None else distance,
+        "trials": trials,
+        "engine": engine,
+        "chunk_trials": DEFAULT_SHARD_TRIALS if engine == "sharded" else None,
+        "decoder": decoder,
+        "fallback": fallback,
+        "stype": StabilizerType.X.value,
+        "adaptive": None
+        if stop is None
+        else {
+            "target_width": stop.target_width,
+            "min_trials": stop.min_trials,
+            "max_trials": stop.max_trials,
+            "z": stop.z,
+        },
+    }
+
+
 def run(
     trials: int | None = None,
     seed: int = 2026,
@@ -102,6 +143,8 @@ def run(
     adaptive: bool = False,
     target_ci_width: float | None = None,
     min_trials: int = 200,
+    store: object | None = None,
+    force: bool = False,
 ) -> ExperimentResult:
     """Reproduce the Fig. 14 comparison (baseline vs Clique + fallback).
 
@@ -135,6 +178,12 @@ def run(
             non-adaptive run would otherwise be silently ignored.
         min_trials: floor below which adaptive runs never stop (clamped to
             the point budget).
+        store: result-store directory (or ready store) — every (point,
+            decoder) run is persisted as it completes and reused on re-runs,
+            so a killed sweep recomputes only its missing points; adaptive
+            runs additionally checkpoint per Wilson wave and resume
+            mid-point.
+        force: recompute and overwrite stored points.
     """
     budget, distances, engine = _resolve_scale(scale, trials, distances, engine)
     if target_ci_width is not None:
@@ -144,6 +193,7 @@ def run(
     if adaptive:
         engine = "sharded"
     hierarchy_name = "Clique+" + ("UF" if fallback == "union_find" else "MWPM")
+    cache = sweep_cache(store, "fig14", force)
     rows = []
     for distance_index, distance in enumerate(distances):
         code = get_code(distance)
@@ -160,29 +210,43 @@ def run(
                 if adaptive
                 else None
             )
-            baseline = run_memory_experiment(
-                code,
-                noise,
-                _mwpm_factory,
-                trials=point_trials,
-                rounds=rounds,
-                rng=base_seed,
-                decoder_name="MWPM",
-                engine=engine,
-                workers=workers,
-                adaptive=stop,
-            )
-            hierarchical = run_memory_experiment(
-                code,
-                noise,
-                _HierarchicalFactory(fallback),
-                trials=point_trials,
-                rounds=rounds,
-                rng=base_seed,
-                decoder_name=hierarchy_name,
-                engine=engine,
-                workers=workers,
-                adaptive=stop,
+
+            def _decoder_run(decoder_label, factory, decoder_fallback=None):
+                config = _memory_point_config(
+                    distance,
+                    error_rate,
+                    rounds,
+                    point_trials,
+                    engine,
+                    decoder_label,
+                    decoder_fallback,
+                    stop,
+                )
+                return cache.point(
+                    config,
+                    base_seed,
+                    lambda: run_memory_experiment(
+                        code,
+                        noise,
+                        factory,
+                        trials=point_trials,
+                        rounds=rounds,
+                        rng=base_seed,
+                        decoder_name=decoder_label,
+                        engine=engine,
+                        workers=workers,
+                        adaptive=stop,
+                        checkpoint=(
+                            cache.checkpoint(config, base_seed)
+                            if stop is not None
+                            else None
+                        ),
+                    ),
+                )
+
+            baseline = _decoder_run("MWPM", _mwpm_factory)
+            hierarchical = _decoder_run(
+                hierarchy_name, _HierarchicalFactory(fallback), fallback
             )
             rows.append(
                 {

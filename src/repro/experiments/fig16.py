@@ -5,10 +5,10 @@ from __future__ import annotations
 from repro.bandwidth.allocation import provision_for_percentile
 from repro.bandwidth.stalling import StallSimulator
 from repro.codes.rotated_surface import get_code
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, sweep_cache
 from repro.noise.models import PhenomenologicalNoise
 from repro.noise.rng import point_seed
-from repro.simulation.coverage import simulate_clique_coverage
+from repro.simulation.coverage import resolve_coverage_config, simulate_clique_coverage
 
 #: Three operating points in the spirit of the paper's three curves.
 DEFAULT_OPERATING_POINTS = ((1e-2, 11), (5e-3, 13), (1e-3, 9))
@@ -25,6 +25,8 @@ def run(
     workers: int | None = None,
     chunk_cycles: int | None = None,
     target_ci_width: float | None = None,
+    store: object | None = None,
+    force: bool = False,
 ) -> ExperimentResult:
     """Reproduce the Fig. 16 trade-off curves.
 
@@ -38,27 +40,62 @@ def run(
     per seed independent of the worker count; ``target_ci_width`` samples
     each operating point only until its coverage interval converges, with
     ``coverage_cycles`` as the budget cap).
+
+    ``store`` persists both the per-operating-point coverage measurement and
+    every (operating point, percentile) stall simulation as they complete,
+    so an interrupted sweep resumes and re-runs are cache hits; ``force``
+    recomputes and overwrites.
     """
+    cache = sweep_cache(store, "fig16", force)
     rows = []
     for point_index, (error_rate, distance) in enumerate(operating_points):
         code = get_code(distance)
         noise = PhenomenologicalNoise(error_rate)
-        coverage = simulate_clique_coverage(
-            code,
-            noise,
+        coverage_config = resolve_coverage_config(
             coverage_cycles,
-            rng=point_seed(seed, point_index),
+            noise,
+            distance,
             workers=workers,
             chunk_cycles=chunk_cycles,
             target_ci_width=target_ci_width,
         )
+        coverage_seed = point_seed(seed, point_index)
+        coverage = cache.point(
+            coverage_config,
+            coverage_seed,
+            lambda: simulate_clique_coverage(
+                code,
+                noise,
+                coverage_cycles,
+                rng=coverage_seed,
+                workers=workers,
+                chunk_cycles=chunk_cycles,
+                target_ci_width=target_ci_width,
+                checkpoint=(
+                    cache.checkpoint(coverage_config, coverage_seed)
+                    if target_ci_width is not None
+                    else None
+                ),
+            ),
+        )
         offchip_rate = max(coverage.offchip_fraction, 1.0 / coverage.cycles)
         for percentile_index, percentile in enumerate(percentiles):
             plan = provision_for_percentile(num_logical_qubits, offchip_rate, percentile)
-            simulator = StallSimulator(
-                plan, seed=point_seed(seed, point_index, percentile_index)
+            stall_config = {
+                "kind": "stall",
+                "distance": distance,
+                "error_rate": error_rate,
+                "num_logical_qubits": num_logical_qubits,
+                "offchip_rate": offchip_rate,
+                "percentile": percentile,
+                "program_cycles": program_cycles,
+            }
+            stall_seed = point_seed(seed, point_index, percentile_index)
+            result = cache.point(
+                stall_config,
+                stall_seed,
+                lambda: StallSimulator(plan, seed=stall_seed).run(program_cycles),
             )
-            result = simulator.run(program_cycles)
             rows.append(
                 {
                     "physical_error_rate": error_rate,

@@ -166,6 +166,71 @@ def _coverage_successes(counts: tuple[int, int, int]) -> int:
     return counts[0]
 
 
+def _is_sharded(
+    workers: int | None, chunk_cycles: int | None, target_ci_width: float | None
+) -> bool:
+    """Single source of truth for engaging the sharded coverage engine.
+
+    Shared by :func:`simulate_clique_coverage` and the store keying contract
+    of :func:`resolve_coverage_config` — the two must never drift, or cache
+    keys would record a different stream topology than the run used.
+    """
+    return workers is not None or chunk_cycles is not None or target_ci_width is not None
+
+
+def resolve_coverage_config(
+    num_cycles: int,
+    noise: NoiseModel,
+    distance: int,
+    stype: StabilizerType = StabilizerType.X,
+    measurement_rounds: int = 2,
+    workers: int | None = None,
+    chunk_cycles: int | None = None,
+    target_ci_width: float | None = None,
+    min_cycles: int | None = None,
+    batch_size: int = 50_000,
+) -> dict[str, object]:
+    """The fully resolved, stream-determining config of one coverage point.
+
+    This is the result-store keying contract for
+    :func:`simulate_clique_coverage`: every knob that can change the counts
+    appears with its default resolved (so an omitted default and an explicit
+    one key identically), and the one knob that never changes the counts
+    (``workers``) is excluded.  The noise model enters as its class name plus
+    *both* rates — a ``PhenomenologicalNoise(p, q)`` with an independent
+    measurement rate must not share a key with the symmetric ``q == p``
+    model.  ``batch_size`` *is* stream-determining — splitting a run into
+    batches interleaves the data-error and measurement-flip draws
+    differently — and whether the sharded engine is engaged changes the
+    streams too (:func:`_is_sharded` keeps the two call sites in lock-step).
+    """
+    sharded = _is_sharded(workers, chunk_cycles, target_ci_width)
+    chunk = chunk_cycles if chunk_cycles is not None else DEFAULT_SHARD_CYCLES
+    if target_ci_width is None:
+        # min_cycles is adaptive-only (the simulator rejects it otherwise).
+        resolved_min = None
+    elif min_cycles is not None:
+        resolved_min = min_cycles
+    else:
+        # Mirror of the simulator's adaptive default for the Wilson floor.
+        resolved_min = min(chunk, num_cycles)
+    return {
+        "kind": "coverage",
+        "cycles": num_cycles,
+        "distance": distance,
+        "noise": type(noise).__name__,
+        "data_error_rate": noise.data_error_rate,
+        "measurement_error_rate": noise.measurement_error_rate,
+        "stype": stype.value,
+        "measurement_rounds": measurement_rounds,
+        "sharded": sharded,
+        "chunk_cycles": chunk if sharded else None,
+        "target_ci_width": target_ci_width,
+        "min_cycles": resolved_min,
+        "batch_size": batch_size,
+    }
+
+
 def simulate_clique_coverage(
     code: RotatedSurfaceCode,
     noise: NoiseModel,
@@ -179,6 +244,7 @@ def simulate_clique_coverage(
     chunk_cycles: int | None = None,
     target_ci_width: float | None = None,
     min_cycles: int | None = None,
+    checkpoint: object | None = None,
 ) -> CoverageResult:
     """Estimate Clique coverage by sampling independent decode cycles.
 
@@ -199,7 +265,9 @@ def simulate_clique_coverage(
     Adaptive allocation: ``target_ci_width`` stops spawning shards once the
     Wilson interval on the coverage proportion is at most that wide
     (``min_cycles`` floor, ``num_cycles`` budget cap); the result's
-    ``cycles`` field records what was actually consumed.
+    ``cycles`` field records what was actually consumed.  ``checkpoint``
+    (adaptive only) enables per-wave mid-point resume — see
+    :func:`repro.simulation.shard.run_sharded_adaptive`.
     """
     if num_cycles <= 0:
         raise ConfigurationError(f"num_cycles must be positive, got {num_cycles}")
@@ -212,10 +280,13 @@ def simulate_clique_coverage(
             "min_cycles is only meaningful with target_ci_width (adaptive "
             "sampling); a silently ignored floor would suggest it was applied"
         )
+    if checkpoint is not None and target_ci_width is None:
+        raise ConfigurationError(
+            "checkpoint is only meaningful with target_ci_width (adaptive "
+            "sampling): fixed-budget sweeps resume at sweep-point granularity"
+        )
 
-    sharded = (
-        workers is not None or chunk_cycles is not None or target_ci_width is not None
-    )
+    sharded = _is_sharded(workers, chunk_cycles, target_ci_width)
     if not sharded:
         generator = make_rng(rng)
         clique = decoder or CliqueDecoder(code, stype)
@@ -255,6 +326,7 @@ def simulate_clique_coverage(
                 seed=rng,
                 chunk_trials=chunk,
                 workers=workers,
+                checkpoint=checkpoint,
             )
             onchip, all_zero, cycles = run.value
         else:
@@ -280,5 +352,6 @@ __all__ = [
     "CoverageKernel",
     "CoverageResult",
     "DEFAULT_SHARD_CYCLES",
+    "resolve_coverage_config",
     "simulate_clique_coverage",
 ]

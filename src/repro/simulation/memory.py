@@ -123,6 +123,7 @@ def run_memory_experiment(
     workers: int | None = None,
     chunk_trials: int | None = None,
     adaptive: WilsonStoppingRule | None = None,
+    checkpoint: object | None = None,
 ) -> MemoryExperimentResult:
     """Estimate the logical error rate of a decoder with Monte-Carlo trials.
 
@@ -156,7 +157,15 @@ def run_memory_experiment(
             rate reaches the rule's target width.  ``trials`` is ignored —
             the rule's ``max_trials`` caps the budget — and the result's
             ``trials`` field records what was actually consumed.
+        checkpoint: per-wave mid-point resume slot for adaptive runs (e.g.
+            :class:`repro.store.AdaptiveCheckpoint`); see
+            :func:`repro.simulation.shard.run_sharded_adaptive`.
     """
+    if checkpoint is not None and adaptive is None:
+        raise ConfigurationError(
+            "checkpoint is only meaningful with adaptive allocation: fixed-"
+            "budget sweeps resume at sweep-point granularity via the store"
+        )
     if engine != "sharded" and workers is not None:
         raise ConfigurationError(
             f"workers is only meaningful for engine='sharded', got engine={engine!r}"
@@ -183,6 +192,7 @@ def run_memory_experiment(
                 rng=rng,
                 decoder_name=decoder_name,
                 workers=workers,
+                checkpoint=checkpoint,
                 **kwargs,
             )
         return run_memory_experiment_sharded(

@@ -44,6 +44,15 @@ proportion's confidence interval tight enough.  The wave schedule (cover
 ``min_trials``, then double the consumed trials each round, clamped to
 ``max_trials``) is a pure function of the observed counts, so adaptive runs
 inherit the same worker-independent determinism.
+
+Checkpointing: pass ``checkpoint=`` (any object with ``load()``/``save()``/
+``clear()``, e.g. :class:`repro.store.AdaptiveCheckpoint`) and the merged
+counts plus the shard cursor are saved after every wave.  A killed run
+resumes from the last completed wave with its observed counts intact, and —
+because the wave schedule is a pure function of the consumed trial count —
+the resumed run finishes with *exactly* the counts the uninterrupted run
+would have produced.  A checkpoint whose ``(seed, chunk_trials)`` does not
+match the current run is ignored: its shard streams would not line up.
 """
 
 from __future__ import annotations
@@ -215,6 +224,35 @@ class AdaptiveShardRun:
         return self.successes / self.trials if self.trials else 0.0
 
 
+#: Format tag of the adaptive checkpoint state; bump on layout changes so a
+#: stale file from an older build is ignored rather than misread.
+CHECKPOINT_STATE_VERSION = 1
+
+
+def _load_checkpoint_state(
+    checkpoint: Any, seed: int, chunk_trials: int
+) -> tuple[Any, int, int] | None:
+    """Validate a saved adaptive state against this run's stream parameters."""
+    state = checkpoint.load()
+    if not isinstance(state, dict):
+        return None
+    if (
+        state.get("version") != CHECKPOINT_STATE_VERSION
+        or state.get("seed") != seed
+        or state.get("chunk_trials") != chunk_trials
+    ):
+        return None
+    merged = state.get("merged")
+    trials_done = state.get("trials_done")
+    next_index = state.get("next_index")
+    if not isinstance(trials_done, int) or not isinstance(next_index, int):
+        return None
+    if merged is None or trials_done <= 0 or next_index <= 0:
+        return None
+    # Merged partials are tuples in-memory; JSON stored them as a list.
+    return tuple(merged) if isinstance(merged, list) else merged, trials_done, next_index
+
+
 def run_sharded_adaptive(
     kernel: ShardKernel,
     stop: WilsonStoppingRule,
@@ -223,6 +261,7 @@ def run_sharded_adaptive(
     chunk_trials: int = DEFAULT_SHARD_TRIALS,
     workers: int | None = None,
     merge: Callable[[Any, Any], Any] = merge_counts,
+    checkpoint: Any | None = None,
 ) -> AdaptiveShardRun:
     """Spawn shard waves by index until ``stop`` is satisfied.
 
@@ -238,6 +277,20 @@ def run_sharded_adaptive(
             :func:`repro.simulation.monte_carlo.until_wilson`).
         successes_of: extracts the tracked proportion's success count from a
             merged partial result (called in the parent process only).
+        checkpoint: optional ``load()``/``save(state)``/``clear()`` slot
+            (e.g. :class:`repro.store.AdaptiveCheckpoint`).  State is saved
+            after every wave, so a killed run resumes mid-point with its
+            observed counts intact — and, the wave schedule being a pure
+            function of those counts, finishes bit-identical to an
+            uninterrupted run.  The final state is deliberately *not*
+            cleared here: the owner clears it once the returned result is
+            durably persisted (``SweepCache.point`` does), otherwise a kill
+            between completion and persistence would discard the whole run.
+            Until then the leftover state is harmless — a re-run loads it,
+            finds the stopping rule already satisfied, and returns the same
+            result without spawning a single shard.  Only JSON-compatible
+            merged partials (numbers/strings in flat tuples) are
+            checkpointable.
 
     Returns:
         An :class:`AdaptiveShardRun` with the merged value, the trials
@@ -248,9 +301,20 @@ def run_sharded_adaptive(
     merged: Any = None
     trials_done = 0
     next_index = 0
-    wave = stop.min_trials
+    if checkpoint is not None:
+        resumed = _load_checkpoint_state(checkpoint, seed, chunk_trials)
+        if resumed is not None:
+            merged, trials_done, next_index = resumed
     with _shard_mapper(workers) as mapper:
-        while wave > 0:
+        while merged is None or not stop.satisfied(successes_of(merged), trials_done):
+            # Same schedule whether fresh or resumed: cover min_trials first,
+            # then double the consumed total, clamped to the budget cap.
+            if trials_done < stop.min_trials:
+                wave = stop.min_trials - trials_done
+            else:
+                wave = stop.next_wave(trials_done)
+            if wave <= 0:
+                break
             sizes = plan_shards(wave, chunk_trials)
             shard_args = [
                 (kernel, shard_trials, seed, next_index + offset)
@@ -261,9 +325,17 @@ def run_sharded_adaptive(
             trials_done += wave
             for outcome in outcomes:
                 merged = outcome if merged is None else merge(merged, outcome)
-            if stop.satisfied(successes_of(merged), trials_done):
-                break
-            wave = stop.next_wave(trials_done)
+            if checkpoint is not None:
+                checkpoint.save(
+                    {
+                        "version": CHECKPOINT_STATE_VERSION,
+                        "seed": seed,
+                        "chunk_trials": chunk_trials,
+                        "trials_done": trials_done,
+                        "next_index": next_index,
+                        "merged": list(merged) if isinstance(merged, tuple) else merged,
+                    }
+                )
     successes = successes_of(merged)
     return AdaptiveShardRun(
         value=merged,
@@ -392,12 +464,14 @@ def run_memory_experiment_adaptive(
     decoder_name: str | None = None,
     chunk_trials: int = DEFAULT_SHARD_TRIALS,
     workers: int | None = None,
+    checkpoint: Any | None = None,
 ):
     """Adaptive memory experiment: shards until the failure-rate CI converges.
 
     The tracked proportion is the logical-failure rate; ``stop`` bounds the
     budget (``stop.max_trials``) and the returned result's ``trials`` field
-    records what was actually consumed.
+    records what was actually consumed.  ``checkpoint`` enables per-wave
+    mid-point resume (see :func:`run_sharded_adaptive`).
     """
     from repro.simulation.memory import MemoryExperimentResult
 
@@ -410,6 +484,7 @@ def run_memory_experiment_adaptive(
         chunk_trials=chunk_trials,
         workers=workers,
         merge=merge_memory_counts,
+        checkpoint=checkpoint,
     )
     failures, onchip_rounds, total_rounds, kernel_name = run.value
     return MemoryExperimentResult(
@@ -425,6 +500,7 @@ def run_memory_experiment_adaptive(
 
 
 __all__ = [
+    "CHECKPOINT_STATE_VERSION",
     "DEFAULT_SHARD_TRIALS",
     "AdaptiveShardRun",
     "MemoryKernel",

@@ -1,0 +1,37 @@
+"""Persistent result store: content-addressed caching and sweep resume.
+
+The service layer for repeated/interrupted paper-scale sweeps: every
+completed sweep point is persisted the moment it finishes (keyed by
+experiment id + fully resolved config + seed + code-version salt), re-runs
+against the same store skip already-present points, and killed adaptive runs
+resume mid-point from per-Wilson-wave checkpoints.  See README.md →
+"Results and resume" for the keying contract.
+"""
+
+from repro.store.keys import (
+    CODE_VERSION_SALT,
+    canonical_json,
+    canonical_value,
+    result_key,
+)
+from repro.store.serialization import RESULT_TYPES, from_dict, to_dict
+from repro.store.store import (
+    AdaptiveCheckpoint,
+    ResultStore,
+    SweepCache,
+    open_store,
+)
+
+__all__ = [
+    "AdaptiveCheckpoint",
+    "CODE_VERSION_SALT",
+    "RESULT_TYPES",
+    "ResultStore",
+    "SweepCache",
+    "canonical_json",
+    "canonical_value",
+    "from_dict",
+    "open_store",
+    "result_key",
+    "to_dict",
+]

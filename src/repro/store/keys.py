@@ -1,0 +1,81 @@
+"""Canonical cache keys for the on-disk result store.
+
+A stored result is only reusable when *everything* that shaped its numbers is
+part of the key: the experiment id, the full resolved configuration of the
+point (including engine/chunking choices that select different RNG streams),
+the root seed, and a code-version salt that is bumped whenever an engine
+change legitimately shifts seeded outputs.  The key is the SHA-256 of a
+canonical JSON encoding of that tuple, so it is stable across processes,
+dict orderings, and tuple-vs-list spellings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import numbers
+from typing import Any, Mapping
+
+#: Version salt folded into every key.  Bump whenever a change to the
+#: simulation/decoding code shifts seeded numeric outputs (e.g. an RNG
+#: consumption reorder or a matcher tie-break rework): old stored results
+#: then miss instead of silently serving stale numbers.
+CODE_VERSION_SALT = "repro-results-v1"
+
+
+def canonical_value(value: Any) -> Any:
+    """Normalise a config value into a canonical JSON-encodable form.
+
+    Tuples and lists unify to lists, mapping keys are stringified and sorted
+    by the JSON encoder, and numpy scalars collapse to their Python
+    counterparts.  Unsupported types raise ``TypeError`` — silently
+    ``str()``-ing an arbitrary object could make two different configs hash
+    equal.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, Mapping):
+        return {str(key): canonical_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    raise TypeError(
+        f"config values must be JSON-like scalars/sequences/mappings, "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace."""
+    return json.dumps(canonical_value(value), sort_keys=True, separators=(",", ":"))
+
+
+def result_key(
+    experiment_id: str,
+    config: Mapping[str, Any],
+    seed: int,
+    salt: str = CODE_VERSION_SALT,
+) -> str:
+    """Content-addressed key of one sweep point's result.
+
+    Args:
+        experiment_id: registry id (``"fig11"``, ``"fig14"``, ...).
+        config: the point's *fully resolved* configuration — every knob that
+            affects the numbers, with defaults filled in (an omitted default
+            and an explicitly passed one must hash identically).
+        seed: the point's integer seed (usually ``point_seed(root, *idx)``).
+        salt: code-version salt; see :data:`CODE_VERSION_SALT`.
+    """
+    payload = {
+        "experiment": experiment_id,
+        "config": config,
+        "seed": int(seed),
+        "salt": salt,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+__all__ = ["CODE_VERSION_SALT", "canonical_json", "canonical_value", "result_key"]

@@ -1,0 +1,91 @@
+"""Stable ``to_dict``/``from_dict`` round-trips for stored result objects.
+
+Only explicitly registered result dataclasses are (de)serialised — the store
+is not a pickle jar.  Encoding is plain JSON-compatible data with a
+``"__type__"`` tag per registered object, floats round-trip exactly through
+``repr``-based JSON encoding, and nested registered dataclasses (e.g. the
+:class:`~repro.bandwidth.allocation.BandwidthPlan` inside a stall result)
+encode recursively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import numbers
+from typing import Any
+
+from repro.bandwidth.allocation import BandwidthPlan
+from repro.bandwidth.stalling import CycleRecord, StallSimulationResult
+from repro.simulation.coverage import CoverageResult
+from repro.simulation.memory import MemoryExperimentResult
+
+#: Result types the store knows how to round-trip, by tag.
+RESULT_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        MemoryExperimentResult,
+        CoverageResult,
+        StallSimulationResult,
+        BandwidthPlan,
+        CycleRecord,
+    )
+}
+
+_TYPE_TAG = "__type__"
+
+
+def _encode_value(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_dict(value)
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    raise TypeError(
+        f"cannot serialise {type(value).__name__} for the result store: {value!r}"
+    )
+
+
+def to_dict(result: Any) -> dict[str, Any]:
+    """Encode a registered result dataclass as a JSON-compatible dict."""
+    name = type(result).__name__
+    if name not in RESULT_TYPES or not dataclasses.is_dataclass(result):
+        raise TypeError(
+            f"{name} is not a registered store result type "
+            f"(known: {sorted(RESULT_TYPES)})"
+        )
+    payload: dict[str, Any] = {_TYPE_TAG: name}
+    for field in dataclasses.fields(result):
+        payload[field.name] = _encode_value(getattr(result, field.name))
+    return payload
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        return from_dict(value)
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def from_dict(payload: dict[str, Any]) -> Any:
+    """Rebuild a result object from its :func:`to_dict` encoding."""
+    try:
+        name = payload[_TYPE_TAG]
+    except (TypeError, KeyError):
+        raise ValueError(f"not a store record (missing {_TYPE_TAG!r}): {payload!r}")
+    try:
+        cls = RESULT_TYPES[name]
+    except KeyError:
+        raise ValueError(f"unknown store result type {name!r}")
+    kwargs = {
+        key: _decode_value(value) for key, value in payload.items() if key != _TYPE_TAG
+    }
+    return cls(**kwargs)
+
+
+__all__ = ["RESULT_TYPES", "from_dict", "to_dict"]

@@ -1,0 +1,226 @@
+"""On-disk persistent result store with sweep resume.
+
+Layout of a store directory::
+
+    <root>/results.jsonl        one {"key": ..., "record": ...} object per line
+    <root>/checkpoints/<key>.json   mid-point state of one adaptive run
+
+``results.jsonl`` is append-only: every completed sweep point is written (and
+flushed) the moment it finishes, so a killed sweep keeps everything it
+completed.  Reads are last-write-wins per key, and a torn final line — the
+signature of a kill mid-append — is ignored rather than poisoning the store.
+Checkpoints are small per-key JSON files written atomically (tmp + rename)
+once per Wilson wave by :func:`repro.simulation.shard.run_sharded_adaptive`,
+and deleted when their point completes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.store.keys import CODE_VERSION_SALT, result_key
+from repro.store.serialization import from_dict, to_dict
+
+RESULTS_FILENAME = "results.jsonl"
+CHECKPOINTS_DIRNAME = "checkpoints"
+
+
+class AdaptiveCheckpoint:
+    """Atomic save/load/clear of one adaptive run's mid-point state.
+
+    The state is an opaque JSON-compatible dict owned by
+    :func:`~repro.simulation.shard.run_sharded_adaptive` (observed counts,
+    shard cursor, seed); this class only guarantees that a kill at any moment
+    leaves either the previous complete state or the new complete state on
+    disk, never a torn file.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def load(self) -> dict[str, Any] | None:
+        """Return the saved state, or ``None`` if absent or unreadable."""
+        try:
+            text = self._path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            state = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        return state if isinstance(state, dict) else None
+
+    def save(self, state: Mapping[str, Any]) -> None:
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(dict(state)), encoding="utf-8")
+        os.replace(tmp, self._path)
+
+    def clear(self) -> None:
+        try:
+            self._path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ResultStore:
+    """Content-addressed store of completed sweep-point results.
+
+    Keys come from :func:`repro.store.keys.result_key`; values are result
+    objects registered in :mod:`repro.store.serialization`.  One store
+    instance is meant to be used from a single (parent) process — shard
+    workers never touch the store, the experiment layer writes merged
+    results only.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            # e.g. the path names an existing file, or a parent is read-only.
+            raise ConfigurationError(
+                f"store path {str(self.root)!r} is not a usable directory: {error}"
+            ) from error
+        self._results_path = self.root / RESULTS_FILENAME
+        self._index: dict[str, dict[str, Any]] | None = None
+
+    # ------------------------------------------------------------------
+    def _load_index(self) -> dict[str, dict[str, Any]]:
+        if self._index is None:
+            index: dict[str, dict[str, Any]] = {}
+            if self._results_path.exists():
+                with self._results_path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            entry = json.loads(line)
+                            index[entry["key"]] = entry["record"]
+                        except (json.JSONDecodeError, KeyError, TypeError):
+                            # A torn line from a killed run: skip, keep the rest.
+                            continue
+            self._index = index
+        return self._index
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load_index()
+
+    def __len__(self) -> int:
+        return len(self._load_index())
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self._load_index())
+
+    def get(self, key: str):
+        """Return the stored result object for ``key``, or ``None``."""
+        record = self._load_index().get(key)
+        return None if record is None else from_dict(record)
+
+    def put(self, key: str, result: Any) -> None:
+        """Append ``result`` under ``key`` and flush it to disk immediately."""
+        record = to_dict(result)
+        line = json.dumps({"key": key, "record": record}, sort_keys=True)
+        with self._results_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._load_index()[key] = record
+
+    # ------------------------------------------------------------------
+    def checkpoint(self, key: str) -> AdaptiveCheckpoint:
+        """The mid-point checkpoint slot for ``key``."""
+        return AdaptiveCheckpoint(
+            self.root / CHECKPOINTS_DIRNAME / f"{key}.json"
+        )
+
+
+class SweepCache:
+    """One experiment run's view of a store: compute-or-reuse per sweep point.
+
+    ``store=None`` makes every method a transparent pass-through (compute,
+    never persist), so experiment runners stay branch-free.  ``force=True``
+    recomputes and overwrites every point (and discards stale mid-point
+    checkpoints) while still writing the fresh results.
+
+    Attributes:
+        hits: points served from the store this run.
+        computed: points actually computed this run.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None,
+        experiment_id: str,
+        force: bool = False,
+        salt: str = CODE_VERSION_SALT,
+    ) -> None:
+        self.store = store
+        self.experiment_id = experiment_id
+        self.force = force
+        self.salt = salt
+        self.hits = 0
+        self.computed = 0
+
+    def key(self, config: Mapping[str, Any], seed: int) -> str:
+        return result_key(self.experiment_id, config, seed, salt=self.salt)
+
+    def point(
+        self, config: Mapping[str, Any], seed: int, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the stored result for this point, or compute and store it."""
+        if self.store is None:
+            self.computed += 1
+            return compute()
+        key = self.key(config, seed)
+        if not self.force:
+            cached = self.store.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        result = compute()
+        self.store.put(key, result)
+        # Only now that the result is durably stored may the point's adaptive
+        # checkpoint go: clearing any earlier (e.g. inside the adaptive
+        # runner) would let a kill between completion and persistence discard
+        # the whole converged run.
+        self.store.checkpoint(key).clear()
+        self.computed += 1
+        return result
+
+    def checkpoint(
+        self, config: Mapping[str, Any], seed: int
+    ) -> AdaptiveCheckpoint | None:
+        """Mid-point checkpoint slot for an adaptive run of this point."""
+        if self.store is None:
+            return None
+        checkpoint = self.store.checkpoint(self.key(config, seed))
+        if self.force:
+            checkpoint.clear()
+        return checkpoint
+
+
+def open_store(store: ResultStore | str | Path | None) -> ResultStore | None:
+    """Coerce a ``--store`` flag value (path or ready store) into a store."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)
+
+
+__all__ = [
+    "AdaptiveCheckpoint",
+    "CHECKPOINTS_DIRNAME",
+    "RESULTS_FILENAME",
+    "ResultStore",
+    "SweepCache",
+    "open_store",
+]

@@ -12,8 +12,8 @@ from repro.exceptions import BandwidthConfigurationError
 
 
 class TestStallSimulator:
-    def test_rejects_zero_capacity_plan(self):
-        plan = BandwidthPlan(100, 0.1, 50.0, 0)
+    def test_rejects_negative_capacity_plan(self):
+        plan = BandwidthPlan(100, 0.1, 50.0, -1)
         with pytest.raises(BandwidthConfigurationError):
             StallSimulator(plan)
 
@@ -75,6 +75,52 @@ class TestStallSimulator:
         result = StallSimulator(plan, seed=7).run(300)
         assert result.total_cycles == result.program_cycles + result.stall_cycles
         assert result.program_cycles == 300
+
+
+class TestZeroCapacityPlan:
+    """Pins the intended zero-capacity semantics: the infinite-stalling report.
+
+    ``abort_threshold = abort_backlog_factor * capacity`` degenerates to 0
+    for a zero-capacity plan, so any carryover aborts instantly; the guarded
+    fast path must keep reporting exactly that (``completed=False``,
+    ``execution_time_increase == inf``) — never a ZeroDivisionError or an
+    infinite loop — for any refactor of the simulation loop.
+    """
+
+    def test_zero_capacity_with_demand_reports_infinite_stalling(self):
+        plan = BandwidthPlan(100, 0.1, 50.0, 0)
+        result = StallSimulator(plan, seed=0).run(500)
+        assert not result.completed
+        assert math.isinf(result.execution_time_increase)
+        assert result.program_cycles == 0
+        assert result.stall_cycles == 0
+
+    def test_zero_capacity_report_is_immediate_and_deterministic(self):
+        plan = BandwidthPlan(100, 0.1, 50.0, 0)
+        first = StallSimulator(plan, seed=1).run(10_000_000)  # must not loop
+        second = StallSimulator(plan, seed=2).run(10_000_000)
+        assert first == second  # no RNG consumed: seed-independent
+
+    def test_zero_capacity_with_zero_demand_completes_stall_free(self):
+        # Nothing ever needs serving: the program trivially completes.
+        plan = BandwidthPlan(100, 0.0, 50.0, 0)
+        result = StallSimulator(plan, seed=0).run(200)
+        assert result.completed
+        assert result.stall_cycles == 0
+        assert result.execution_time_increase == 0.0
+
+    def test_zero_capacity_with_records_requested_keeps_empty_trace(self):
+        plan = BandwidthPlan(100, 0.1, 50.0, 0)
+        result = StallSimulator(plan, seed=0).run(500, keep_records=True)
+        assert result.records == []
+
+    def test_tiny_abort_factor_still_terminates(self):
+        # The neighbouring degenerate input: a positive capacity with a zero
+        # abort factor must abort on the first backlog, not loop forever.
+        plan = BandwidthPlan(1000, 0.5, 50.0, 1)
+        result = StallSimulator(plan, seed=3).run(10_000, abort_backlog_factor=0.0)
+        assert not result.completed
+        assert math.isinf(result.execution_time_increase)
 
 
 class TestTradeoffCurve:

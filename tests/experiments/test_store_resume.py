@@ -1,0 +1,332 @@
+"""Store-backed sweep resume: the acceptance tests of the result store.
+
+Covers the two headline behaviours:
+
+* a fig14 paper-scale-shaped sweep killed mid-run and re-invoked with the
+  same store recomputes only the missing points (kernel invocations are
+  counted);
+* a fully-warm fig11 re-run produces byte-identical rows to the cold run
+  while invoking zero Monte-Carlo kernels;
+
+plus the mid-point Wilson-wave checkpointing of adaptive runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments.coverage_sweep as coverage_sweep_module
+import repro.experiments.fig14 as fig14_module
+import repro.experiments.fig16 as fig16_module
+from repro.experiments.registry import run_experiment
+from repro.simulation.monte_carlo import until_wilson
+from repro.simulation.shard import run_sharded_adaptive
+from repro.store import ResultStore
+
+
+class _BernoulliKernel:
+    """Minimal shard kernel: (successes, trials) counts of a biased coin.
+
+    Local clone of ``tests/simulation/shard_kernels.BernoulliKernel`` — these
+    tests run every shard sequentially (``workers=1``), so picklability and
+    the cross-directory import it would require don't matter here.
+    """
+
+    def __init__(self, rate: float) -> None:
+        self.rate = rate
+
+    def __call__(self, n_trials, rng):
+        return (int((rng.random(n_trials) < self.rate).sum()), n_trials)
+
+
+def bernoulli_successes(counts):
+    return counts[0]
+
+FIG14_PARAMS = dict(
+    scale="paper",
+    trials=24,
+    distances=(3, 5),
+    error_rates=(1e-2, 2e-2),
+    workers=1,
+    seed=11,
+)
+FIG14_POINTS = 2 * 2 * 2  # distances x rates x decoders
+
+FIG11_PARAMS = dict(
+    cycles=400,
+    distances=(3, 5),
+    error_rates=(1e-2,),
+    seed=5,
+)
+
+
+class _Killed(RuntimeError):
+    """Stands in for SIGKILL/Ctrl-C in the mid-run kill tests."""
+
+
+def _counting(monkeypatch, module, name, kill_after=None):
+    """Wrap ``module.name`` to count invocations, optionally raising first."""
+    calls = []
+    original = getattr(module, name)
+
+    def wrapper(*args, **kwargs):
+        if kill_after is not None and len(calls) >= kill_after:
+            raise _Killed(f"killed after {kill_after} {name} calls")
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(module, name, wrapper)
+    return calls
+
+
+class TestFig14KilledSweepResume:
+    def test_rerun_recomputes_only_missing_points(self, tmp_path, monkeypatch):
+        store_dir = tmp_path / "store"
+        killed_after = 3
+
+        first_calls = _counting(
+            monkeypatch, fig14_module, "run_memory_experiment", kill_after=killed_after
+        )
+        with pytest.raises(_Killed):
+            run_experiment("fig14", store=str(store_dir), **FIG14_PARAMS)
+        assert len(first_calls) == killed_after
+        assert len(ResultStore(store_dir)) == killed_after
+
+        monkeypatch.undo()
+        second_calls = _counting(monkeypatch, fig14_module, "run_memory_experiment")
+        resumed = run_experiment("fig14", store=str(store_dir), **FIG14_PARAMS)
+        assert len(second_calls) == FIG14_POINTS - killed_after
+        assert len(resumed.rows) == FIG14_POINTS // 2
+
+        # The resumed sweep is indistinguishable from a never-interrupted one.
+        monkeypatch.undo()
+        clean = run_experiment("fig14", **FIG14_PARAMS)
+        assert resumed.rows == clean.rows
+
+    def test_force_recomputes_every_point(self, tmp_path, monkeypatch):
+        store_dir = tmp_path / "store"
+        run_experiment("fig14", store=str(store_dir), **FIG14_PARAMS)
+        calls = _counting(monkeypatch, fig14_module, "run_memory_experiment")
+        run_experiment("fig14", store=str(store_dir), force=True, **FIG14_PARAMS)
+        assert len(calls) == FIG14_POINTS
+
+
+class TestFig11WarmRerun:
+    def test_warm_rerun_is_byte_identical_with_zero_kernel_calls(
+        self, tmp_path, monkeypatch
+    ):
+        store_dir = tmp_path / "store"
+        cold = run_experiment("fig11", store=str(store_dir), **FIG11_PARAMS)
+
+        calls = _counting(monkeypatch, coverage_sweep_module, "simulate_clique_coverage")
+        warm = run_experiment("fig11", store=str(store_dir), **FIG11_PARAMS)
+        assert calls == []
+        assert warm.rows == cold.rows
+        assert warm.format_table().encode() == cold.format_table().encode()
+
+    def test_store_misses_across_different_configs(self, tmp_path, monkeypatch):
+        store_dir = tmp_path / "store"
+        run_experiment("fig11", store=str(store_dir), **FIG11_PARAMS)
+        calls = _counting(monkeypatch, coverage_sweep_module, "simulate_clique_coverage")
+        changed = dict(FIG11_PARAMS, cycles=FIG11_PARAMS["cycles"] + 100)
+        run_experiment("fig11", store=str(store_dir), **changed)
+        assert len(calls) == 2  # every point recomputed under the new config
+
+    def test_fig12_and_fig11_do_not_share_entries(self, tmp_path):
+        # Same coverage computation shape, but the experiment id is part of
+        # the key (and the default seeds differ): entries must not collide.
+        store_dir = tmp_path / "store"
+        run_experiment("fig11", store=str(store_dir), **FIG11_PARAMS)
+        run_experiment("fig12", store=str(store_dir), **FIG11_PARAMS)
+        assert len(ResultStore(store_dir)) == 4
+
+
+class TestFig16WarmRerun:
+    PARAMS = dict(
+        operating_points=((1e-2, 3),),
+        percentiles=(90.0, 99.0),
+        coverage_cycles=400,
+        program_cycles=400,
+        seed=3,
+    )
+
+    def test_warm_rerun_skips_coverage_and_stall_sims(self, tmp_path, monkeypatch):
+        store_dir = tmp_path / "store"
+        cold = run_experiment("fig16", store=str(store_dir), **self.PARAMS)
+        coverage_calls = _counting(
+            monkeypatch, fig16_module, "simulate_clique_coverage"
+        )
+        stall_calls = _counting(monkeypatch, fig16_module, "StallSimulator")
+        warm = run_experiment("fig16", store=str(store_dir), **self.PARAMS)
+        assert coverage_calls == []
+        assert stall_calls == []
+        assert warm.format_table() == cold.format_table()
+
+
+class _CountingKernel:
+    """Sequential-only kernel wrapper counting per-shard invocations."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.calls = []
+
+    def __call__(self, n_trials, rng):
+        self.calls.append(n_trials)
+        return self.kernel(n_trials, rng)
+
+
+class _KillingCheckpoint:
+    """Checkpoint that dies after persisting ``kill_after_saves`` waves."""
+
+    def __init__(self, inner, kill_after_saves):
+        self.inner = inner
+        self.kill_after_saves = kill_after_saves
+        self.saves = 0
+
+    def load(self):
+        return self.inner.load()
+
+    def save(self, state):
+        self.inner.save(state)
+        self.saves += 1
+        if self.saves >= self.kill_after_saves:
+            raise _Killed(f"killed after wave {self.saves}")
+
+    def clear(self):
+        self.inner.clear()
+
+
+class TestAdaptiveWaveCheckpointing:
+    KERNEL = _BernoulliKernel(0.3)
+    STOP = dict(target_width=0.05, min_trials=100, max_trials=5000)
+    RUN = dict(seed=17, chunk_trials=50, workers=1)
+
+    def _stop(self):
+        return until_wilson(**self.STOP)
+
+    def test_killed_adaptive_run_resumes_with_identical_counts(self, tmp_path):
+        uninterrupted = run_sharded_adaptive(
+            self.KERNEL, self._stop(), bernoulli_successes, **self.RUN
+        )
+        assert uninterrupted.trials > self.STOP["min_trials"]  # multiple waves
+
+        checkpoint = ResultStore(tmp_path).checkpoint("point")
+        with pytest.raises(_Killed):
+            run_sharded_adaptive(
+                self.KERNEL,
+                self._stop(),
+                bernoulli_successes,
+                checkpoint=_KillingCheckpoint(checkpoint, kill_after_saves=1),
+                **self.RUN,
+            )
+        assert checkpoint.load() is not None  # wave 1 survived the kill
+
+        counting = _CountingKernel(self.KERNEL)
+        resumed = run_sharded_adaptive(
+            counting, self._stop(), bernoulli_successes, checkpoint=checkpoint, **self.RUN
+        )
+        assert resumed == uninterrupted
+        # Only the post-kill waves ran: strictly fewer trials than the total.
+        assert 0 < sum(counting.calls) < uninterrupted.trials
+
+    def test_completed_checkpoint_is_resume_idempotent(self, tmp_path):
+        # The adaptive runner deliberately leaves the final state behind
+        # (the owner clears it only after persisting the result, so a kill
+        # in between costs nothing): re-running from a completed checkpoint
+        # must return the identical result without spawning a single shard.
+        checkpoint = ResultStore(tmp_path).checkpoint("point")
+        first = run_sharded_adaptive(
+            self.KERNEL, self._stop(), bernoulli_successes, checkpoint=checkpoint, **self.RUN
+        )
+        assert checkpoint.load() is not None
+        counting = _CountingKernel(self.KERNEL)
+        rerun = run_sharded_adaptive(
+            counting, self._stop(), bernoulli_successes, checkpoint=checkpoint, **self.RUN
+        )
+        assert rerun == first
+        assert counting.calls == []
+
+    def test_sweep_cache_clears_checkpoint_only_after_persisting(self, tmp_path):
+        # Through the store layer the lifecycle completes: the point's
+        # checkpoint survives the adaptive run itself and is removed by
+        # SweepCache.point once the result is durably in results.jsonl.
+        from repro.store import SweepCache
+
+        store = ResultStore(tmp_path)
+        cache = SweepCache(store, "adaptive-test")
+        config = {"kind": "bernoulli"}
+
+        def compute():
+            run = run_sharded_adaptive(
+                self.KERNEL,
+                self._stop(),
+                bernoulli_successes,
+                checkpoint=cache.checkpoint(config, self.RUN["seed"]),
+                **self.RUN,
+            )
+            # Mid-compute (after convergence, before put) the state is still
+            # on disk — this is the crash window the ordering protects.
+            assert cache.checkpoint(config, self.RUN["seed"]).load() is not None
+            from repro.simulation.coverage import CoverageResult
+
+            return CoverageResult(1e-2, 3, 2, run.trials, run.successes, 0)
+
+        cache.point(config, self.RUN["seed"], compute)
+        assert cache.checkpoint(config, self.RUN["seed"]).load() is None
+
+    def test_checkpoint_with_wrong_seed_is_ignored(self, tmp_path):
+        checkpoint = ResultStore(tmp_path).checkpoint("point")
+        with pytest.raises(_Killed):
+            run_sharded_adaptive(
+                self.KERNEL,
+                self._stop(),
+                bernoulli_successes,
+                checkpoint=_KillingCheckpoint(checkpoint, kill_after_saves=1),
+                **self.RUN,
+            )
+        other_run = dict(self.RUN, seed=self.RUN["seed"] + 1)
+        counting = _CountingKernel(self.KERNEL)
+        fresh = run_sharded_adaptive(
+            counting, self._stop(), bernoulli_successes, checkpoint=checkpoint, **other_run
+        )
+        reference = run_sharded_adaptive(
+            self.KERNEL, self._stop(), bernoulli_successes, **other_run
+        )
+        assert fresh == reference
+        assert sum(counting.calls) == reference.trials  # started from scratch
+
+    def test_checkpoint_with_wrong_chunk_is_ignored(self, tmp_path):
+        checkpoint = ResultStore(tmp_path).checkpoint("point")
+        with pytest.raises(_Killed):
+            run_sharded_adaptive(
+                self.KERNEL,
+                self._stop(),
+                bernoulli_successes,
+                checkpoint=_KillingCheckpoint(checkpoint, kill_after_saves=1),
+                **self.RUN,
+            )
+        other_run = dict(self.RUN, chunk_trials=25)
+        fresh = run_sharded_adaptive(
+            self.KERNEL, self._stop(), bernoulli_successes, checkpoint=checkpoint, **other_run
+        )
+        reference = run_sharded_adaptive(
+            self.KERNEL, self._stop(), bernoulli_successes, **other_run
+        )
+        assert fresh == reference
+
+    def test_fig14_adaptive_store_rerun_reuses_points(self, tmp_path):
+        store_dir = tmp_path / "store"
+        params = dict(
+            trials=400,
+            distances=(3,),
+            error_rates=(1e-2,),
+            adaptive=True,
+            workers=1,
+            seed=7,
+        )
+        cold = run_experiment("fig14", store=str(store_dir), **params)
+        warm = run_experiment("fig14", store=str(store_dir), **params)
+        assert warm.rows == cold.rows
+        # Adaptive points that completed leave no checkpoints behind.
+        checkpoints_dir = tmp_path / "store" / "checkpoints"
+        assert not checkpoints_dir.exists() or not any(checkpoints_dir.iterdir())

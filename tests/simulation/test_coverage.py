@@ -97,3 +97,67 @@ class TestSimulateCoverage:
         first = simulate_clique_coverage(code_d5, noise, 5000, rng=11)
         second = simulate_clique_coverage(code_d5, noise, 5000, rng=11)
         assert first.onchip_cycles == second.onchip_cycles
+
+
+class TestResolveCoverageConfig:
+    """The store keying contract: stream-determining knobs must all appear."""
+
+    def _key(self, noise=None, **kwargs):
+        from repro.noise.models import PhenomenologicalNoise
+        from repro.simulation.coverage import resolve_coverage_config
+
+        if noise is None:
+            noise = PhenomenologicalNoise(1e-2)
+        return resolve_coverage_config(2000, noise, 3, **kwargs)
+
+    def test_defaults_key_like_explicit_defaults(self):
+        assert self._key() == self._key(measurement_rounds=2, batch_size=50_000)
+
+    def test_independent_measurement_rate_is_keyed(self):
+        from repro.noise.models import PhenomenologicalNoise
+
+        # PhenomenologicalNoise(p, q) with q != p changes the persistent-flip
+        # rate and therefore the counts: it must not share a key with the
+        # symmetric q == p model at the same data rate.
+        symmetric = self._key(noise=PhenomenologicalNoise(1e-2))
+        asymmetric = self._key(noise=PhenomenologicalNoise(1e-2, 5e-3))
+        assert symmetric != asymmetric
+
+    def test_noise_class_is_keyed(self):
+        from repro.noise.models import CodeCapacityNoise, PhenomenologicalNoise
+
+        phenomenological = self._key(noise=PhenomenologicalNoise(1e-2))
+        code_capacity = self._key(noise=CodeCapacityNoise(1e-2))
+        assert phenomenological != code_capacity
+
+    def test_batch_size_is_stream_determining(self):
+        # Splitting a run into batches interleaves the data-error and
+        # measurement-flip draws differently, so batch_size must change the
+        # key — excluding it would serve numbers from a different stream.
+        assert self._key(batch_size=1000) != self._key()
+
+    def test_workers_is_excluded(self):
+        # The seeding contract makes counts worker-independent; only the
+        # sharded-ness (and resolved chunk) may enter the key.
+        assert self._key(workers=1) == self._key(workers=8)
+
+    def test_sharded_and_legacy_paths_key_differently(self):
+        assert self._key(workers=1) != self._key()
+
+    def test_explicit_default_chunk_keys_like_implied(self):
+        from repro.simulation.coverage import DEFAULT_SHARD_CYCLES
+
+        assert self._key(workers=1) == self._key(chunk_cycles=DEFAULT_SHARD_CYCLES)
+
+    def test_chunk_cycles_is_stream_determining(self):
+        assert self._key(chunk_cycles=500) != self._key(chunk_cycles=1000)
+
+    def test_explicit_default_min_cycles_keys_like_implied(self):
+        # The adaptive Wilson floor defaults to min(chunk, cycles) inside the
+        # simulator; spelling that value out must hit the same key.
+        implied = self._key(target_ci_width=0.05, chunk_cycles=500)
+        explicit = self._key(target_ci_width=0.05, chunk_cycles=500, min_cycles=500)
+        assert implied == explicit
+
+    def test_min_cycles_is_inert_without_adaptive_sampling(self):
+        assert self._key()["min_cycles"] is None

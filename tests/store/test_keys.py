@@ -1,0 +1,70 @@
+"""Tests for the result store's canonical keying contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.store import canonical_json, canonical_value, result_key
+
+CONFIG = {"distance": 5, "error_rate": 1e-2, "cycles": 2000, "sharded": False}
+
+
+class TestCanonicalValue:
+    def test_tuples_and_lists_unify(self):
+        assert canonical_value((3, 5, 7)) == canonical_value([3, 5, 7])
+
+    def test_numpy_scalars_collapse_to_python(self):
+        assert canonical_value(np.int64(3)) == 3
+        assert canonical_value(np.float64(0.5)) == 0.5
+
+    def test_nested_mappings_normalise(self):
+        value = {"a": (1, 2), "b": {"c": np.int64(3)}}
+        assert canonical_value(value) == {"a": [1, 2], "b": {"c": 3}}
+
+    def test_unsupported_types_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_value(object())
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        forward = {"a": 1, "b": 2}
+        backward = {"b": 2, "a": 1}
+        assert canonical_json(forward) == canonical_json(backward)
+
+    def test_floats_round_trip_exactly(self):
+        import json
+
+        for value in (1e-2, 0.1 + 0.2, 1 / 3):
+            assert json.loads(canonical_json(value)) == value
+
+
+class TestResultKey:
+    def test_deterministic_across_calls(self):
+        assert result_key("fig11", CONFIG, 7) == result_key("fig11", CONFIG, 7)
+
+    def test_dict_ordering_is_canonical(self):
+        shuffled = dict(reversed(list(CONFIG.items())))
+        assert result_key("fig11", CONFIG, 7) == result_key("fig11", shuffled, 7)
+
+    def test_experiment_id_separates_keys(self):
+        assert result_key("fig11", CONFIG, 7) != result_key("fig12", CONFIG, 7)
+
+    def test_seed_separates_keys(self):
+        assert result_key("fig11", CONFIG, 7) != result_key("fig11", CONFIG, 8)
+
+    def test_config_separates_keys(self):
+        other = dict(CONFIG, cycles=CONFIG["cycles"] + 1)
+        assert result_key("fig11", CONFIG, 7) != result_key("fig11", other, 7)
+
+    def test_salt_separates_keys(self):
+        # Bumping the code-version salt must invalidate every stored result.
+        assert result_key("fig11", CONFIG, 7) != result_key(
+            "fig11", CONFIG, 7, salt="repro-results-v2"
+        )
+
+    def test_key_is_hex_sha256(self):
+        key = result_key("fig11", CONFIG, 7)
+        assert len(key) == 64
+        assert int(key, 16) >= 0

@@ -1,0 +1,83 @@
+"""Round-trip tests for the store's result (de)serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bandwidth.allocation import BandwidthPlan
+from repro.bandwidth.stalling import CycleRecord, StallSimulationResult
+from repro.simulation.coverage import CoverageResult
+from repro.simulation.memory import MemoryExperimentResult
+from repro.store import from_dict, to_dict
+
+MEMORY = MemoryExperimentResult(
+    physical_error_rate=1e-2,
+    code_distance=5,
+    rounds=5,
+    trials=1000,
+    logical_failures=37,
+    decoder_name="Clique+MWPM",
+    onchip_rounds=4200,
+    total_rounds=5000,
+)
+
+COVERAGE = CoverageResult(
+    physical_error_rate=5e-3,
+    code_distance=7,
+    measurement_rounds=2,
+    cycles=20_000,
+    onchip_cycles=19_211,
+    all_zero_cycles=14_887,
+)
+
+PLAN = BandwidthPlan(
+    num_logical_qubits=1000, offchip_rate=0.0123, percentile=99.0, decodes_per_cycle=21
+)
+
+STALL = StallSimulationResult(
+    plan=PLAN,
+    program_cycles=20_000,
+    stall_cycles=312,
+    completed=True,
+    max_backlog=58,
+    records=[CycleRecord(cycle=0, new_requests=3, carryover=0, served=3, is_stall=False)],
+)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("result", [MEMORY, COVERAGE, PLAN, STALL])
+    def test_round_trip_reconstructs_equal_object(self, result):
+        assert from_dict(to_dict(result)) == result
+
+    @pytest.mark.parametrize("result", [MEMORY, COVERAGE, PLAN, STALL])
+    def test_round_trip_survives_json(self, result):
+        # The store writes JSON lines: the encoding must survive an actual
+        # dump/load cycle, floats bit-exactly included.
+        assert from_dict(json.loads(json.dumps(to_dict(result)))) == result
+
+    def test_derived_properties_survive(self):
+        clone = from_dict(to_dict(MEMORY))
+        assert clone.logical_error_rate == MEMORY.logical_error_rate
+        assert clone.confidence_interval == MEMORY.confidence_interval
+        assert clone.onchip_round_fraction == MEMORY.onchip_round_fraction
+
+    def test_nested_plan_is_typed(self):
+        clone = from_dict(to_dict(STALL))
+        assert isinstance(clone.plan, BandwidthPlan)
+        assert isinstance(clone.records[0], CycleRecord)
+
+
+class TestErrorHandling:
+    def test_unregistered_type_rejected_on_encode(self):
+        with pytest.raises(TypeError):
+            to_dict({"not": "a dataclass"})
+
+    def test_missing_tag_rejected_on_decode(self):
+        with pytest.raises(ValueError):
+            from_dict({"cycles": 10})
+
+    def test_unknown_tag_rejected_on_decode(self):
+        with pytest.raises(ValueError):
+            from_dict({"__type__": "NoSuchResult"})

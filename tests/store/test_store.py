@@ -1,0 +1,188 @@
+"""Tests for the on-disk result store, checkpoints, and the sweep cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.simulation.coverage import CoverageResult
+from repro.store import ResultStore, SweepCache, open_store, result_key
+
+
+def _coverage(cycles: int = 100, onchip: int = 90) -> CoverageResult:
+    return CoverageResult(
+        physical_error_rate=1e-2,
+        code_distance=3,
+        measurement_rounds=2,
+        cycles=cycles,
+        onchip_cycles=onchip,
+        all_zero_cycles=onchip // 2,
+    )
+
+
+class TestResultStore:
+    def test_get_missing_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get("0" * 64) is None
+        assert "0" * 64 not in store
+
+    def test_put_then_get_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key("fig11", {"cycles": 100}, 7)
+        store.put(key, _coverage())
+        assert store.get(key) == _coverage()
+        assert key in store
+        assert len(store) == 1
+
+    def test_results_persist_across_instances(self, tmp_path):
+        root = tmp_path / "store"
+        key = result_key("fig11", {"cycles": 100}, 7)
+        ResultStore(root).put(key, _coverage())
+        assert ResultStore(root).get(key) == _coverage()
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key("fig11", {"cycles": 100}, 7)
+        store.put(key, _coverage(onchip=80))
+        store.put(key, _coverage(onchip=95))
+        assert ResultStore(tmp_path / "store").get(key).onchip_cycles == 95
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        # A kill mid-append leaves a partial JSON line; the store must keep
+        # serving every complete line instead of failing to load.
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        key = result_key("fig11", {"cycles": 100}, 7)
+        store.put(key, _coverage())
+        with (root / "results.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "deadbeef", "record": {"__ty')
+        reopened = ResultStore(root)
+        assert reopened.get(key) == _coverage()
+        assert len(reopened) == 1
+
+    def test_creates_directory_tree(self, tmp_path):
+        root = tmp_path / "a" / "b" / "store"
+        ResultStore(root)
+        assert root.is_dir()
+
+    def test_path_naming_a_file_raises_configuration_error(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        with pytest.raises(ConfigurationError, match="not a usable directory"):
+            ResultStore(blocker)
+
+
+class TestAdaptiveCheckpoint:
+    def test_load_missing_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path).checkpoint("k" * 64).load() is None
+
+    def test_save_load_clear(self, tmp_path):
+        checkpoint = ResultStore(tmp_path).checkpoint("k" * 64)
+        state = {"version": 1, "trials_done": 200, "merged": [3, 200]}
+        checkpoint.save(state)
+        assert checkpoint.load() == state
+        checkpoint.clear()
+        assert checkpoint.load() is None
+
+    def test_clear_is_idempotent(self, tmp_path):
+        checkpoint = ResultStore(tmp_path).checkpoint("k" * 64)
+        checkpoint.clear()
+        checkpoint.clear()
+
+    def test_save_replaces_atomically(self, tmp_path):
+        checkpoint = ResultStore(tmp_path).checkpoint("k" * 64)
+        checkpoint.save({"wave": 1})
+        checkpoint.save({"wave": 2})
+        assert checkpoint.load() == {"wave": 2}
+        # No stray tmp file left behind.
+        leftovers = [p for p in checkpoint.path.parent.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_corrupt_checkpoint_reads_as_none(self, tmp_path):
+        checkpoint = ResultStore(tmp_path).checkpoint("k" * 64)
+        checkpoint.save({"wave": 1})
+        checkpoint.path.write_text('{"wave": ', encoding="utf-8")
+        assert checkpoint.load() is None
+
+
+class TestSweepCache:
+    def test_none_store_is_transparent(self):
+        cache = SweepCache(None, "fig11")
+        calls = []
+        result = cache.point({"cycles": 1}, 7, lambda: calls.append(1) or _coverage())
+        assert result == _coverage()
+        assert calls == [1]
+        assert cache.checkpoint({"cycles": 1}, 7) is None
+
+    def test_second_run_hits_instead_of_computing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _coverage()
+
+        first = SweepCache(store, "fig11")
+        assert first.point({"cycles": 1}, 7, compute) == _coverage()
+        second = SweepCache(store, "fig11")
+        assert second.point({"cycles": 1}, 7, compute) == _coverage()
+        assert calls == [1]
+        assert (first.hits, first.computed) == (0, 1)
+        assert (second.hits, second.computed) == (1, 0)
+
+    def test_force_recomputes_and_overwrites(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepCache(store, "fig11").point({"cycles": 1}, 7, lambda: _coverage(onchip=80))
+        forced = SweepCache(store, "fig11", force=True)
+        assert forced.point({"cycles": 1}, 7, lambda: _coverage(onchip=95)).onchip_cycles == 95
+        assert forced.hits == 0
+        # The overwrite is persistent.
+        assert SweepCache(store, "fig11").point(
+            {"cycles": 1}, 7, lambda: pytest.fail("should be cached")
+        ).onchip_cycles == 95
+
+    def test_force_discards_stale_checkpoint(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cache = SweepCache(store, "fig11")
+        cache.checkpoint({"cycles": 1}, 7).save({"wave": 1})
+        forced = SweepCache(store, "fig11", force=True)
+        assert forced.checkpoint({"cycles": 1}, 7).load() is None
+
+    def test_distinct_configs_do_not_collide(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cache = SweepCache(store, "fig11")
+        cache.point({"cycles": 1}, 7, lambda: _coverage(onchip=80))
+        other = cache.point({"cycles": 2}, 7, lambda: _coverage(onchip=95))
+        assert other.onchip_cycles == 95
+        assert len(store) == 2
+
+
+class TestOpenStore:
+    def test_none_passes_through(self):
+        assert open_store(None) is None
+
+    def test_path_opens_store(self, tmp_path):
+        store = open_store(tmp_path / "s")
+        assert isinstance(store, ResultStore)
+
+    def test_ready_store_passes_through(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert open_store(store) is store
+
+    def test_string_path_accepted(self, tmp_path):
+        assert isinstance(open_store(str(tmp_path / "s")), ResultStore)
+
+
+class TestStoreFileFormat:
+    def test_results_are_json_lines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("fig11", {"cycles": 100}, 7)
+        store.put(key, _coverage())
+        lines = (tmp_path / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["key"] == key
+        assert entry["record"]["__type__"] == "CoverageResult"

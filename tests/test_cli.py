@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import argparse
+
 import pytest
 
-from repro.cli import _parse_param, build_parser, main
+from repro.cli import _parse_param, _parse_scalar, build_parser, main
 from repro.experiments.registry import available_experiments
 
 
@@ -30,10 +32,50 @@ class TestParamParsing:
         assert _parse_param("distances=3,") == ("distances", (3,))
 
     def test_missing_equals_raises(self):
-        import argparse
-
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_param("cycles")
+
+    def test_empty_value_raises(self):
+        # `trials=` used to parse as the empty string and reach the runner.
+        with pytest.raises(argparse.ArgumentTypeError, match="empty value"):
+            _parse_param("trials=")
+
+    def test_empty_tuple_element_raises(self):
+        # `distances=3,,5` used to silently drop the hole and parse as (3, 5).
+        with pytest.raises(argparse.ArgumentTypeError, match="empty element"):
+            _parse_param("distances=3,,5")
+
+    def test_leading_empty_tuple_element_raises(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="empty element"):
+            _parse_param("distances=,3")
+
+    def test_lone_comma_raises(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="empty element"):
+            _parse_param("distances=,")
+
+    def test_underscore_int_literal_raises(self):
+        # `trials=1_0` used to parse as 10 via Python's digit separators.
+        with pytest.raises(argparse.ArgumentTypeError, match="digit separators"):
+            _parse_param("trials=1_0")
+
+    def test_underscore_float_literal_raises(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="digit separators"):
+            _parse_param("rate=1_000.5")
+
+    def test_underscore_in_tuple_element_raises(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="digit separators"):
+            _parse_param("distances=3,1_1")
+
+    def test_underscore_strings_still_pass_through(self):
+        assert _parse_param("fallback=union_find") == ("fallback", "union_find")
+        assert _parse_scalar("union_find") == "union_find"
+
+    @pytest.mark.parametrize("raw", ["trials=", "distances=3,,5"])
+    def test_malformed_param_exits_nonzero_via_main(self, raw, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig14", "--param", raw])
+        assert excinfo.value.code not in (0, None)
+        assert "error" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -125,3 +167,62 @@ class TestShardedCoverageCli:
         assert data_rows
         cycles_consumed = [int(fields[2]) for fields in data_rows]
         assert all(cycles < 2000 for cycles in cycles_consumed)
+
+
+class TestStoreCli:
+    FIG11_ARGS = [
+        "fig11",
+        "--param",
+        "cycles=400",
+        "--param",
+        "distances=3,",
+        "--param",
+        "error_rates=1e-2,",
+    ]
+
+    def _run(self, extra, capsys):
+        assert main(self.FIG11_ARGS + extra) == 0
+        return capsys.readouterr().out
+
+    def test_warm_store_rerun_is_byte_identical(self, tmp_path, capsys):
+        store = ["--store", str(tmp_path / "store")]
+        cold = self._run(store, capsys)
+        warm = self._run(store, capsys)
+        assert warm == cold
+        assert (tmp_path / "store" / "results.jsonl").exists()
+
+    def test_explicit_resume_flag_accepted(self, tmp_path, capsys):
+        store = ["--store", str(tmp_path / "store")]
+        cold = self._run(store, capsys)
+        assert self._run(store + ["--resume"], capsys) == cold
+
+    def test_force_flag_recomputes_and_matches(self, tmp_path, capsys):
+        # Deterministic seeds: forcing recomputation must reproduce the
+        # stored numbers exactly (and exit cleanly while overwriting).
+        store = ["--store", str(tmp_path / "store")]
+        cold = self._run(store, capsys)
+        assert self._run(store + ["--force"], capsys) == cold
+
+    def test_force_without_store_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.FIG11_ARGS + ["--force"])
+        assert excinfo.value.code not in (0, None)
+        assert "--store" in capsys.readouterr().err
+
+    def test_resume_and_force_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.FIG11_ARGS + ["--store", "s", "--resume", "--force"])
+
+    def test_store_path_that_is_a_file_fails_cleanly(self, tmp_path, capsys):
+        # A --store path naming an existing file must produce the standard
+        # 'error:' message and exit 1, not a raw FileExistsError traceback.
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        assert main(self.FIG11_ARGS + ["--store", str(blocker)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_store_with_non_sweep_experiment_fails_cleanly(self, tmp_path, capsys):
+        # table1 takes no store kwarg: the CLI reports the TypeError as a
+        # normal parameter error instead of crashing.
+        assert main(["run", "table1", "--store", str(tmp_path)]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,71 @@
+"""Smoke lane for the ``examples/`` scripts.
+
+The examples are the repo's public quickstarts, and three engine refactors
+have already churned the API underneath them — this lane subprocess-runs all
+four with shrunken Monte-Carlo budgets (the ``REPRO_EXAMPLE_*`` env knobs)
+so an API break surfaces in tier-1 instead of in a user's terminal.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: script name -> (extra env, a string its stdout must contain)
+EXAMPLES = {
+    "quickstart.py": ({}, "Logical qubit survived"),
+    "decoder_accuracy_study.py": (
+        {"REPRO_EXAMPLE_TRIALS": "40"},
+        "logical error rate",
+    ),
+    "bandwidth_provisioning.py": (
+        {"REPRO_EXAMPLE_CYCLES": "2000"},
+        "bandwidth x",
+    ),
+    "cryogenic_budget_planner.py": (
+        {"REPRO_EXAMPLE_CYCLES": "2000"},
+        "Clique decoder",
+    ),
+}
+
+
+def _run_example(name: str, extra_env: dict[str, str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.update(extra_env)
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_every_example_is_covered_by_this_lane():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples/ and the smoke lane drifted apart; add the new script here"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
+def test_example_runs_clean(name):
+    extra_env, marker = EXAMPLES[name]
+    completed = _run_example(name, extra_env)
+    assert completed.returncode == 0, (
+        f"{name} exited {completed.returncode}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert marker in completed.stdout
+    assert completed.stderr == ""
