@@ -22,7 +22,13 @@ tracked across PRs:
 * ``store`` (schema v4) — the warm-store re-run speedup of a fig11 coverage
   sweep against a fresh result store: the warm run must reproduce the cold
   run's rows byte-identically while invoking zero Monte-Carlo kernels, so
-  its wall-clock is pure store overhead.
+  its wall-clock is pure store overhead;
+* ``cascade`` (schema v5) — the paper-workload (d=7, p=1e-2, 4000 trials)
+  decoded by the two-tier Clique+MWPM hierarchy vs the Section 8.1
+  three-tier ``clique,union_find,mwpm`` cascade, recording throughput and
+  per-tier trial/escalation fractions, and asserting the three-tier cascade
+  decodes no slower than two-tier MWPM (the union-find middle tier resolves
+  its clusters exactly and ships only sprawling-cluster trials to blossom).
 
 The run is deliberately kept out of the tier-1 fast path: set
 ``REPRO_PERF_SMOKE=1`` to enable it, e.g.
@@ -41,6 +47,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.clique.cascade import DecoderCascade
 from repro.clique.hierarchical import HierarchicalDecoder
 from repro.codes.rotated_surface import get_code
 from repro.experiments.fig14 import PAPER_TRIAL_BUDGETS
@@ -52,7 +59,7 @@ from repro.simulation.monte_carlo import until_wilson, wilson_width
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_memory.json"
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 DISTANCE = 5
 ERROR_RATE = 1e-2
 TRIALS = 1_000
@@ -80,6 +87,18 @@ STORE_SWEEP = dict(
 )
 MIN_WARM_STORE_SPEEDUP = 5.0
 
+#: Cascade workload (schema v5): the d=7 paper workload through the two-tier
+#: hierarchy vs the three-tier Clique -> union-find -> MWPM cascade.  The
+#: middle tier resolves small clusters exactly and escalates only
+#: sprawling-cluster trials, so the cascade must decode *no slower* than
+#: two-tier MWPM here (it measures ~1.15x on this box) while matching its
+#: logical-failure count on the identical seeded histories.  Each side is
+#: timed best-of-N so the >= 1.0 gate compares throughput, not scheduler
+#: jitter.
+CASCADE_TIERS = ("clique", "union_find", "mwpm")
+CASCADE_TIMING_REPEATS = 3
+MIN_THREE_TIER_RATIO = 1.0
+
 pytestmark = pytest.mark.skipif(
     os.environ.get("REPRO_PERF_SMOKE") != "1",
     reason="perf smoke stays out of the tier-1 fast path; set REPRO_PERF_SMOKE=1",
@@ -94,6 +113,16 @@ class _Hierarchical:
 
     def __call__(self, code, stype):
         return HierarchicalDecoder(code, stype, fallback=self.fallback)
+
+
+class _Cascade:
+    """Picklable N-tier cascade factory."""
+
+    def __init__(self, tiers) -> None:
+        self.tiers = tuple(tiers)
+
+    def __call__(self, code, stype):
+        return DecoderCascade(code, stype, tiers=self.tiers)
 
 
 def _time_run(distance: int, trials: int, engine: str, **kwargs) -> dict:
@@ -211,6 +240,40 @@ def test_engine_and_fallback_throughput_bench_record():
         "trials_saved_pct": round(100.0 * (1 - adaptive.trials / fixed.trials), 1),
     }
 
+    # --- cascade: two-tier vs three-tier on the d=7 paper workload --------
+    def _cascade_run(tiers):
+        code = get_code(PAPER_DISTANCE)
+        noise = PhenomenologicalNoise(ERROR_RATE)
+        elapsed = float("inf")
+        for _ in range(CASCADE_TIMING_REPEATS):
+            start = time.perf_counter()
+            result = run_memory_experiment(
+                code, noise, _Cascade(tiers), trials=PAPER_TRIALS, rng=SEED, engine="batch"
+            )
+            elapsed = min(elapsed, time.perf_counter() - start)
+        return {
+            "tiers": ",".join(result.tier_names),
+            "seconds": round(elapsed, 4),
+            "trials_per_sec": round(PAPER_TRIALS / elapsed, 1),
+            "logical_failures": result.logical_failures,
+            "tier_trial_fractions": [
+                round(f, 4) for f in result.tier_trial_fractions
+            ],
+            "escalation_rates": [round(f, 4) for f in result.escalation_rates],
+        }
+
+    two_tier = _cascade_run(("clique", "mwpm"))
+    three_tier = _cascade_run(CASCADE_TIERS)
+    cascade_speedup = three_tier["trials_per_sec"] / two_tier["trials_per_sec"]
+    cascade_record = {
+        "distance": PAPER_DISTANCE,
+        "error_rate": ERROR_RATE,
+        "trials": PAPER_TRIALS,
+        "seed": SEED,
+        "runs": [two_tier, three_tier],
+        "three_tier_speedup": round(cascade_speedup, 3),
+    }
+
     # --- warm-store re-run speedup (schema v4) ----------------------------
     with tempfile.TemporaryDirectory() as store_dir:
         start = time.perf_counter()
@@ -261,6 +324,7 @@ def test_engine_and_fallback_throughput_bench_record():
         },
         "adaptive": adaptive_record,
         "store": store_record,
+        "cascade": cascade_record,
         "batch_speedup": round(batch_speedup, 2),
     }
     history = []
@@ -297,6 +361,17 @@ def test_engine_and_fallback_throughput_bench_record():
     assert warm_sweep.rows == cold_sweep.rows
     assert store_speedup >= MIN_WARM_STORE_SPEEDUP, (
         f"warm-store re-run speedup regressed: {store_speedup:.1f}x"
+    )
+
+    # The three-tier cascade decodes the identical seeded histories — the
+    # tier-0 triage is shared, so the same trials leave the chip — and must
+    # be no slower than the two-tier MWPM hierarchy: its middle tier resolves
+    # small clusters exactly and only sprawling-cluster trials reach blossom.
+    assert three_tier["tier_trial_fractions"][0] == two_tier["tier_trial_fractions"][0]
+    assert three_tier["escalation_rates"][0] == two_tier["escalation_rates"][0]
+    assert cascade_speedup >= MIN_THREE_TIER_RATIO, (
+        f"three-tier cascade decodes slower than two-tier MWPM: "
+        f"{cascade_speedup:.2f}x"
     )
 
     # Throughput gates.

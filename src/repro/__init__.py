@@ -20,7 +20,13 @@ Quickstart::
 """
 
 from repro._version import __version__
-from repro.clique import CliqueDecision, CliqueDecoder, HierarchicalDecoder, PersistenceFilter
+from repro.clique import (
+    CliqueDecision,
+    CliqueDecoder,
+    DecoderCascade,
+    HierarchicalDecoder,
+    PersistenceFilter,
+)
 from repro.codes import (
     PAPER_OPERATING_POINTS,
     OperatingPoint,
@@ -75,6 +81,7 @@ __all__ = [
     "CliqueDecision",
     "PersistenceFilter",
     "HierarchicalDecoder",
+    "DecoderCascade",
     # hardware
     "clique_overheads",
     "compare_with_nisqplus",

@@ -10,9 +10,12 @@ Examples:
     repro-qec run fig14 --scale paper --workers 8
     repro-qec fig14 --scale paper --adaptive --target-ci-width 0.02
     repro-qec run fig14 --fallback union_find
+    repro-qec run fig14 --tiers clique,union_find,mwpm
     repro-qec run fig14_fallbacks --param trials=300
+    repro-qec fig14_fallbacks --tiers clique,union_find,mwpm --param distances=9,
     repro-qec fig14 --scale paper --store results/   # resume on re-run
     repro-qec fig14 --scale paper --store results/ --force
+    repro-qec store compact results/                 # GC a long-lived store
 
 ``--engine`` selects the Monte-Carlo engine for memory experiments (fig14):
 ``batch`` (the default inside the library) vectorises trial triage — all
@@ -27,10 +30,13 @@ points to Wilson-converged adaptive sampling, and ``--adaptive`` does the
 same for fig14's logical-error-rate points (budget-capped by the scale's
 trial budgets).  ``--scale paper`` extends fig14 to the paper's d=3–11 grid
 with per-distance trial budgets; ``--fallback`` picks the hierarchy's
-off-chip decoder.  ``--store DIR`` persists every sweep point of the
-fig11/fig12/fig14/fig16 sweeps as it completes and makes re-runs resume
-(``--resume``, the default) or recompute (``--force``); see README.md →
-"Results and resume".
+off-chip decoder, and ``--tiers`` generalises it to a full N-tier decoder
+cascade spec (``clique,union_find,mwpm`` runs MWPM only on the union-find
+tier's disagreement set — see README.md → "Decoder cascades").  ``--store
+DIR`` persists every sweep point of the fig11/fig12/fig14/fig16 sweeps as it
+completes and makes re-runs resume (``--resume``, the default) or recompute
+(``--force``); ``store compact DIR`` garbage-collects a long-lived store
+directory; see README.md → "Results and resume".
 """
 
 from __future__ import annotations
@@ -178,11 +184,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--fallback",
-        choices=("mwpm", "union_find"),
         default=None,
+        metavar="NAME",
         help=(
-            "off-chip fallback for the Clique hierarchy (fig14/fig14_fallbacks): "
-            "'mwpm' (blossom, default) or 'union_find' (near-linear clustering)"
+            "off-chip fallback for the two-tier Clique hierarchy "
+            "(fig14/fig14_fallbacks): 'mwpm' (blossom, default) or "
+            "'union_find' (near-linear clustering)"
+        ),
+    )
+    run_parser.add_argument(
+        "--tiers",
+        default=None,
+        metavar="T0,T1,...",
+        help=(
+            "full decoder-cascade spec for fig14/fig14_fallbacks, "
+            "generalising --fallback: comma-separated tier names starting "
+            "with 'clique', e.g. 'clique,union_find,mwpm' (MWPM decodes only "
+            "the union-find tier's disagreement set)"
         ),
     )
     run_parser.add_argument(
@@ -221,6 +239,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --store: recompute every point and overwrite stored results",
     )
+
+    store_parser = subparsers.add_parser(
+        "store", help="maintain a result-store directory"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    compact_parser = store_sub.add_parser(
+        "compact",
+        help=(
+            "rewrite DIR/results.jsonl keeping only the last-write-wins "
+            "record per key, and delete adaptive checkpoints orphaned by "
+            "already-persisted results"
+        ),
+    )
+    compact_parser.add_argument("dir", metavar="DIR", help="result-store directory")
     return parser
 
 
@@ -231,7 +263,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(argv)
     # `python -m repro fig11 --workers 4` shorthand: a first token that is not
     # a subcommand or an option is an experiment id for the `run` subcommand.
-    if argv and argv[0] not in ("list", "run") and not argv[0].startswith("-"):
+    if argv and argv[0] not in ("list", "run", "store") and not argv[0].startswith("-"):
         argv.insert(0, "run")
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -241,11 +273,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(experiment_id)
         return 0
 
+    if args.command == "store":
+        if args.store_command == "compact":
+            from repro.store import ResultStore
+
+            try:
+                summary = ResultStore(args.dir).compact()
+            except (ReproError, OSError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+            print(
+                f"compacted {args.dir}: kept {summary['records_kept']} records, "
+                f"dropped {summary['lines_dropped']} stale lines and "
+                f"{summary['checkpoints_dropped']} orphaned checkpoints"
+            )
+            return 0
+        parser.error(f"unknown store command {args.store_command!r}")  # pragma: no cover
+
     if args.command == "run":
         if args.force and args.store is None:
             parser.error("--force is only meaningful with --store DIR")
+        if args.tiers is not None and args.fallback is not None:
+            parser.error("--tiers and --fallback are mutually exclusive")
         params = dict(args.param)
-        for flag in ("engine", "workers", "fallback", "scale", "chunk_cycles", "target_ci_width"):
+        for flag in ("engine", "workers", "fallback", "tiers", "scale", "chunk_cycles", "target_ci_width"):
             value = getattr(args, flag)
             if value is not None:
                 params[flag] = value

@@ -8,6 +8,7 @@ boundary special cases) means a longer error chain is present and the
 syndrome must be shipped to the off-chip complex decoder.
 """
 
+from repro.clique.cascade import CascadeResult, DecoderCascade
 from repro.clique.cliques import Clique, build_cliques
 from repro.clique.decoder import CliqueDecision, CliqueDecoder, clique_rule
 from repro.clique.hierarchical import HierarchicalDecoder, HierarchicalResult
@@ -16,9 +17,11 @@ from repro.clique.measurement_filter import PersistenceFilter
 __all__ = [
     "Clique",
     "build_cliques",
+    "CascadeResult",
     "CliqueDecoder",
     "CliqueDecision",
     "clique_rule",
+    "DecoderCascade",
     "PersistenceFilter",
     "HierarchicalDecoder",
     "HierarchicalResult",

@@ -1,0 +1,478 @@
+"""The N-tier decoder cascade (paper Section 8.1): Clique, then ever-heavier
+off-chip decoders, each fed only its predecessor's escalation set.
+
+The two-tier hierarchy of Fig. 2 — Clique on-chip, one robust decoder
+off-chip — need not stop at two levels.  Section 8.1 of the paper sketches
+the generalisation this module implements: a cheap on-chip Clique tier backed
+by a mid-cost decoder (e.g. near-linear union-find clustering), with the
+expensive exact matcher reserved for the residual *disagreement set* — the
+trials the middle tier declines to resolve.  Deeper cascades buy
+deeper-distance accuracy at a fraction of the final tier's cost and of the
+off-chip bandwidth.
+
+Tier contract
+-------------
+* Tier 0 is always the on-chip Clique front-end.  It owns the round-by-round
+  measurement-persistence filtering and triage, applies purely local
+  corrections for trivial rounds, and accumulates the complex rounds'
+  detection events into the trial's *off-chip window*.
+* Tiers ``1 .. N-1`` (intermediate) implement
+  ``decode_events_tiered(rounds, ancillas) -> (bitmap | None, escalated)``:
+  given one trial's off-chip events as flat index arrays, either resolve the
+  trial or hand it on — whole and untouched — to the next tier.
+* Tier ``N`` (final) must resolve everything it receives, through
+  ``decode_events_bitmap(rounds, ancillas)`` when available (MWPM,
+  clustering) or a per-trial ``decode`` call otherwise.
+
+Trial subsets flow tier-to-tier as index arrays: the batched path performs a
+single ``np.nonzero`` pass over the stacked off-chip masks, then one
+``np.nonzero`` triage per tier boundary to compact the escalated subset — no
+per-trial Python bookkeeping beyond the unavoidable per-trial decode calls of
+the rare escalated minority.
+
+:class:`repro.clique.hierarchical.HierarchicalDecoder` is the two-tier alias
+of this class and stays bit-compatible with the pre-cascade implementation;
+the equivalence is pinned against frozen seeded outputs in
+``tests/clique/test_cascade.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.clique.decoder import CliqueDecoder
+from repro.clique.measurement_filter import PersistenceFilter
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.decoders.base import BatchDecodeResult, Decoder, DecodeResult
+from repro.decoders.matching_graph import MatchingGraph
+from repro.decoders.mwpm import DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT, MWPMDecoder
+from repro.decoders.registry import CLIQUE_TIER, resolve_tier_name
+from repro.decoders.union_find import (
+    DEFAULT_ESCALATION_CLUSTER_SIZE,
+    ClusteringDecoder,
+)
+from repro.exceptions import ConfigurationError
+from repro.types import Coord, DecodeLocation, StabilizerType
+
+
+@dataclass(frozen=True)
+class CascadeResult:
+    """Outcome of decoding a full multi-round history through the cascade.
+
+    Attributes:
+        correction: combined data-qubit correction (on-chip XOR off-chip).
+        onchip_correction: the part applied by the Clique tier.
+        offchip_correction: the part applied by whichever off-chip tier
+            resolved the trial's escalated window.
+        round_locations: per measurement round, whether it was resolved
+            on-chip or had to go off-chip.
+        offchip_rounds: indices of the rounds sent off-chip.
+        handled_tier: index of the tier that produced the final correction —
+            0 when every round stayed on-chip, ``k >= 1`` when off-chip tier
+            ``k`` resolved the escalated window.
+        tier_names: the cascade's tier names (``("clique", ...)``).
+    """
+
+    correction: frozenset[Coord]
+    onchip_correction: frozenset[Coord]
+    offchip_correction: frozenset[Coord]
+    round_locations: tuple[DecodeLocation, ...]
+    offchip_rounds: tuple[int, ...] = ()
+    handled_tier: int = 0
+    tier_names: tuple[str, ...] = ()
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.round_locations)
+
+    @property
+    def num_offchip_rounds(self) -> int:
+        return len(self.offchip_rounds)
+
+    @property
+    def onchip_fraction(self) -> float:
+        """Fraction of rounds fully handled inside the refrigerator."""
+        if not self.round_locations:
+            return 1.0
+        return 1.0 - self.num_offchip_rounds / self.num_rounds
+
+
+class DecoderCascade(Decoder):
+    """N-tier decode cascade: Clique triage, then escalating off-chip tiers.
+
+    Args:
+        code: the surface code instance.
+        stype: stabilizer type to decode.
+        tiers: the tier spec — a comma-separated string
+            (``"clique,union_find,mwpm"``), or a sequence whose first entry
+            is ``"clique"`` (or a ready :class:`CliqueDecoder`) and whose
+            remaining entries are registered decoder names
+            (:data:`repro.decoders.registry.TIER_DECODERS`) or ready
+            :class:`~repro.decoders.base.Decoder` instances.  Named tiers
+            share one :class:`~repro.decoders.matching_graph.MatchingGraph`
+            (and, for MWPM tiers, one boundary-clique edge cache); every tier
+            except the last must be able to escalate (expose
+            ``decode_events_tiered``).
+        measurement_rounds: window size of the Clique persistence filter
+            (2 in the paper's primary design).
+        escalation_cluster_size: escalation threshold applied to named
+            ``"union_find"`` tiers constructed in *intermediate* position —
+            a trial escalates when any grown cluster exceeds this many
+            events.  Instances passed directly keep their own policy.
+        boundary_clique_cache_limit: bound on the shared boundary-clique edge
+            cache of named ``"mwpm"`` tiers (see
+            :class:`~repro.decoders.mwpm.MWPMDecoder`).
+    """
+
+    def __init__(
+        self,
+        code: RotatedSurfaceCode,
+        stype: StabilizerType,
+        tiers: str | Sequence["str | Decoder"] = (CLIQUE_TIER, "mwpm"),
+        measurement_rounds: int = 2,
+        escalation_cluster_size: int = DEFAULT_ESCALATION_CLUSTER_SIZE,
+        boundary_clique_cache_limit: int = DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT,
+    ) -> None:
+        super().__init__(code, stype)
+        if isinstance(tiers, str):
+            tiers = tuple(part.strip() for part in tiers.split(","))
+        else:
+            tiers = tuple(tiers)
+        if not tiers:
+            raise ConfigurationError("a cascade needs at least two tiers")
+        front = tiers[0]
+        if isinstance(front, CliqueDecoder):
+            self._clique = front
+        elif front == CLIQUE_TIER:
+            self._clique = CliqueDecoder(code, stype)
+        else:
+            raise ConfigurationError(
+                f"the first cascade tier must be {CLIQUE_TIER!r} (or a "
+                f"CliqueDecoder instance), got {front!r}"
+            )
+        if len(tiers) < 2:
+            raise ConfigurationError(
+                f"a cascade needs at least one off-chip tier after "
+                f"{CLIQUE_TIER!r}"
+            )
+        self._filter = PersistenceFilter(measurement_rounds)
+
+        # Named tiers share one matching graph and, for MWPM, one
+        # boundary-clique cache: the edge lists depend only on the event
+        # count, so separate per-tier caches would just duplicate warm-up.
+        shared_graph: MatchingGraph | None = None
+        shared_boundary_cache: dict[int, list] = {}
+        offchip: list[Decoder] = []
+        names: list[str] = [CLIQUE_TIER]
+        for position, spec in enumerate(tiers[1:]):
+            is_last = position == len(tiers) - 2
+            if isinstance(spec, str):
+                tier_cls = resolve_tier_name(spec)
+                if shared_graph is None:
+                    shared_graph = MatchingGraph(code, stype)
+                if tier_cls is MWPMDecoder:
+                    tier: Decoder = MWPMDecoder(
+                        code,
+                        stype,
+                        matching_graph=shared_graph,
+                        boundary_clique_cache_limit=boundary_clique_cache_limit,
+                        boundary_clique_cache=shared_boundary_cache,
+                    )
+                elif tier_cls is ClusteringDecoder:
+                    tier = ClusteringDecoder(
+                        code,
+                        stype,
+                        matching_graph=shared_graph,
+                        escalation_cluster_size=(
+                            None if is_last else escalation_cluster_size
+                        ),
+                    )
+                else:  # pragma: no cover - future registry entries
+                    tier = tier_cls(code, stype)
+                names.append(spec)
+            elif isinstance(spec, Decoder):
+                tier = spec
+                names.append(spec.name)
+            else:
+                raise ConfigurationError(
+                    f"cascade tier {position + 1} must be a registered "
+                    f"decoder name or a Decoder instance, got {spec!r}"
+                )
+            if not is_last and getattr(tier, "decode_events_tiered", None) is None:
+                raise ConfigurationError(
+                    f"tier {names[-1]!r} at position {position + 1} cannot "
+                    f"escalate (no decode_events_tiered); only the final "
+                    f"cascade tier may lack an escalation path"
+                )
+            offchip.append(tier)
+        self._offchip_tiers = tuple(offchip)
+        self._tier_names = tuple(names)
+
+    # ------------------------------------------------------------------
+    @property
+    def clique(self) -> CliqueDecoder:
+        return self._clique
+
+    @property
+    def offchip_tiers(self) -> tuple[Decoder, ...]:
+        """The off-chip tiers, in escalation order (tier 1 first)."""
+        return self._offchip_tiers
+
+    @property
+    def tier_names(self) -> tuple[str, ...]:
+        """All tier names, the on-chip Clique tier first."""
+        return self._tier_names
+
+    @property
+    def num_tiers(self) -> int:
+        return 1 + len(self._offchip_tiers)
+
+    @property
+    def measurement_rounds(self) -> int:
+        return self._filter.rounds
+
+    @property
+    def name(self) -> str:
+        if type(self) is DecoderCascade:
+            return "Cascade[" + ",".join(self._tier_names) + "]"
+        return type(self).__name__
+
+    # ------------------------------------------------------------------
+    def decode_history(self, detections: np.ndarray) -> CascadeResult:
+        """Decode a full detection-event history round by round."""
+        matrix = self._as_detection_matrix(detections)
+        num_rounds = matrix.shape[0]
+        consumed = np.zeros_like(matrix)
+        offchip_mask = np.zeros_like(matrix)
+        onchip_correction: set[Coord] = set()
+        locations: list[DecodeLocation] = []
+        offchip_rounds: list[int] = []
+
+        for round_index in range(num_rounds):
+            visible = matrix[round_index] & ~consumed[round_index] & 1
+            sticky, transient = self._filter.split(
+                matrix & ~consumed & 1, round_index
+            )
+            sticky &= visible
+            transient &= visible
+            decision = self._clique.decide(sticky)
+            if decision.is_trivial:
+                onchip_correction ^= set(decision.correction)
+                # Transient events and their future partners are explained as
+                # measurement errors and never leave the chip.
+                partner_mask = self._filter.transient_partner_mask(
+                    matrix & ~consumed & 1, round_index, transient
+                )
+                consumed |= partner_mask
+                consumed[round_index] |= transient | sticky
+                locations.append(DecodeLocation.ON_CHIP)
+            else:
+                # The whole round's (unconsumed) events go to the off-chip cascade.
+                offchip_mask[round_index] = visible
+                consumed[round_index] |= visible
+                locations.append(DecodeLocation.OFF_CHIP)
+                offchip_rounds.append(round_index)
+
+        offchip_correction: set[Coord] = set()
+        handled_tier = 0
+        if offchip_mask.any():
+            event_rounds, event_ancillas = np.nonzero(offchip_mask)
+            for tier_index, tier in enumerate(self._offchip_tiers):
+                if tier_index < len(self._offchip_tiers) - 1:
+                    bitmap, escalated = tier.decode_events_tiered(
+                        event_rounds, event_ancillas
+                    )
+                    if escalated:
+                        continue
+                    offchip_correction = self._bitmap_coords(bitmap)
+                else:
+                    # Final tier: the matrix-level decode() entry point, so
+                    # custom fallback instances see the call they expect.
+                    offchip_correction = set(tier.decode(offchip_mask).correction)
+                handled_tier = tier_index + 1
+                break
+
+        total = set(onchip_correction) ^ offchip_correction
+        return CascadeResult(
+            correction=frozenset(total),
+            onchip_correction=frozenset(onchip_correction),
+            offchip_correction=frozenset(offchip_correction),
+            round_locations=tuple(locations),
+            offchip_rounds=tuple(offchip_rounds),
+            handled_tier=handled_tier,
+            tier_names=self._tier_names,
+        )
+
+    def _bitmap_coords(self, bitmap: np.ndarray) -> set[Coord]:
+        """Convert a data-qubit correction bitmap back to coordinate form."""
+        data_qubits = self._code.data_qubits
+        return {data_qubits[i] for i in np.flatnonzero(bitmap)}
+
+    # ------------------------------------------------------------------
+    def decode_batch(self, histories: np.ndarray) -> BatchDecodeResult:
+        """Vectorised batch decoding: triage all trials' rounds at once.
+
+        This is the paper's own triage insight applied to the simulator: the
+        overwhelming majority of rounds are trivially explainable by the
+        Clique logic, so their filtering, decision, and correction assembly
+        run as whole-batch array operations (a Python loop over *rounds*, not
+        over ``trials x rounds``).  Only the rare off-chip minority pays a
+        per-trial tier decode, and each deeper tier sees only its
+        predecessor's escalation subset.  The round-by-round dynamics below
+        mirror :meth:`decode_history` statement for statement, so the result
+        is bit-identical to the per-trial reference path.
+        """
+        batch = self._as_detection_batch(histories)
+        trials, num_rounds, _ = batch.shape
+        window = self._filter.rounds
+        active = batch.astype(bool)
+        consumed = np.zeros_like(active)
+        offchip_mask = np.zeros_like(batch)
+        offchip_round_counts = np.zeros(trials, dtype=np.int64)
+        corrections = np.zeros((trials, self._code.num_data_qubits), dtype=np.uint8)
+
+        for round_index in range(num_rounds):
+            # Only the filter window [round_index, round_index + window) is
+            # ever read, so the masked view is sliced to it.
+            window_end = min(round_index + window, num_rounds)
+            masked = (
+                active[:, round_index:window_end] & ~consumed[:, round_index:window_end]
+            )
+            visible = masked[:, 0]
+            if masked.shape[1] > 1:
+                repeats = masked[:, 1:].any(axis=1)
+            else:
+                repeats = np.zeros_like(visible)
+            sticky = visible & ~repeats
+            transient = visible & repeats
+            trivial = self._clique.is_trivial_batch(sticky)
+
+            # On-chip branch: corrections accumulate with XOR-across-rounds
+            # semantics, and each transient event consumes its first future
+            # partner flip so it is never decoded twice.
+            corrections ^= self._clique.correction_bitmap(sticky & trivial[:, None])
+            remaining = transient & trivial[:, None]
+            for offset in range(1, window_end - round_index):
+                if not remaining.any():
+                    break
+                hit = remaining & masked[:, offset]
+                consumed[:, round_index + offset] |= hit
+                remaining &= ~hit
+
+            # Off-chip branch: the round's whole visible signature is queued
+            # for the off-chip tiers.
+            complex_rows = ~trivial
+            offchip_mask[complex_rows, round_index] = visible[complex_rows]
+            offchip_round_counts += complex_rows
+
+            # Both branches consume everything visible this round.
+            consumed[:, round_index] |= visible
+
+        tier_trials = np.zeros(self.num_tiers, dtype=np.int64)
+        tier_rounds = np.zeros(self.num_tiers, dtype=np.int64)
+        offchip_trials = np.flatnonzero(offchip_round_counts)
+        tier_trials[0] = trials - offchip_trials.size
+        tier_rounds[0] = trials * num_rounds - int(offchip_round_counts.sum())
+        if offchip_trials.size:
+            corrections[offchip_trials] ^= self._offchip_corrections(
+                offchip_mask[offchip_trials],
+                offchip_round_counts[offchip_trials],
+                tier_trials,
+                tier_rounds,
+            )
+
+        return BatchDecodeResult(
+            corrections=corrections,
+            onchip_rounds=num_rounds - offchip_round_counts,
+            total_rounds=np.full(trials, num_rounds, dtype=np.int64),
+            tier_trials=tier_trials,
+            tier_rounds=tier_rounds,
+        )
+
+    # ------------------------------------------------------------------
+    def _offchip_corrections(
+        self,
+        masks: np.ndarray,
+        round_counts: np.ndarray,
+        tier_trials: np.ndarray,
+        tier_rounds: np.ndarray,
+    ) -> np.ndarray:
+        """Cascade the off-chip trials' detection masks down the tiers.
+
+        One ``np.nonzero`` pass over the stacked masks yields every off-chip
+        trial's event list at once — in the same row-major
+        ``(round, ancilla)`` order a per-trial ``np.nonzero`` would produce,
+        which keeps equal-weight tie-breaks, and therefore results,
+        bit-identical to per-trial decoding.  Intermediate tiers either
+        resolve a trial or flag it; one boolean ``np.nonzero`` per tier
+        boundary then compacts the escalated subset handed to the next tier.
+        The final tier decodes through ``decode_events_bitmap`` when it has
+        one and a per-trial :meth:`~repro.decoders.base.Decoder.decode` loop
+        otherwise.  ``tier_trials``/``tier_rounds`` are updated in place
+        (tier 0 entries are the caller's).
+        """
+        num_trials = masks.shape[0]
+        corrections = np.zeros((num_trials, self._code.num_data_qubits), dtype=np.uint8)
+        trial_ids, rounds, ancillas = np.nonzero(masks)
+        bounds = np.searchsorted(trial_ids, np.arange(num_trials + 1))
+        current = np.arange(num_trials)
+
+        for tier_index, tier in enumerate(self._offchip_tiers):
+            tier_rounds[tier_index + 1] += int(round_counts[current].sum())
+            if tier_index == len(self._offchip_tiers) - 1:
+                tier_trials[tier_index + 1] += current.size
+                decode_events = getattr(tier, "decode_events_bitmap", None)
+                if decode_events is None:
+                    data_index = self._code.data_index
+                    for trial in current:
+                        for qubit in tier.decode(masks[trial]).correction:
+                            corrections[trial, data_index[qubit]] ^= 1
+                    break
+                for trial in current:
+                    start, end = bounds[trial], bounds[trial + 1]
+                    if start == end:
+                        continue
+                    corrections[trial] = decode_events(
+                        rounds[start:end], ancillas[start:end]
+                    )
+                break
+
+            escalated = np.zeros(current.size, dtype=bool)
+            for position, trial in enumerate(current):
+                start, end = bounds[trial], bounds[trial + 1]
+                if start == end:
+                    continue
+                bitmap, escalate = tier.decode_events_tiered(
+                    rounds[start:end], ancillas[start:end]
+                )
+                if escalate:
+                    escalated[position] = True
+                else:
+                    corrections[trial] = bitmap
+            tier_trials[tier_index + 1] += current.size - int(escalated.sum())
+            # The one triage per tier boundary: compact the escalation set.
+            current = current[np.nonzero(escalated)[0]]
+            if current.size == 0:
+                break
+        return corrections
+
+    # ------------------------------------------------------------------
+    def decode(self, detections: np.ndarray) -> DecodeResult:
+        """Decoder-interface wrapper returning the combined correction."""
+        result = self.decode_history(detections)
+        return DecodeResult(
+            correction=result.correction,
+            handled=True,
+            metadata={
+                "num_offchip_rounds": result.num_offchip_rounds,
+                "num_rounds": result.num_rounds,
+                "onchip_fraction": result.onchip_fraction,
+                "handled_tier": result.handled_tier,
+            },
+        )
+
+
+__all__ = ["CascadeResult", "DecoderCascade"]

@@ -1,4 +1,4 @@
-"""The full BTWC decoding hierarchy: Clique on-chip, complex decoder off-chip.
+"""The two-tier BTWC decoding hierarchy: Clique on-chip, complex decoder off-chip.
 
 This module glues the pieces of Fig. 2 together for a single logical qubit:
 
@@ -11,70 +11,39 @@ This module glues the pieces of Fig. 2 together for a single logical qubit:
   accumulated and eventually decoded jointly by the robust off-chip decoder
   (MWPM by default) over the full space-time history it received.
 
-The per-round on-chip/off-chip tally produced here is the raw material for
-the bandwidth-allocation experiments (Figs. 9 and 16) and for the coverage
-experiments (Figs. 11 and 12).
+Since the N-tier generalisation landed, :class:`HierarchicalDecoder` is a
+thin alias for the two-tier :class:`~repro.clique.cascade.DecoderCascade`
+(``tiers=("clique", fallback)``) — API- and bit-compatible with the original
+two-tier implementation, which the seeded-equivalence tests in
+``tests/clique/test_cascade.py`` pin.  The per-round on-chip/off-chip tally
+produced here is the raw material for the bandwidth-allocation experiments
+(Figs. 9 and 16) and for the coverage experiments (Figs. 11 and 12).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.clique.decoder import CliqueDecoder
-from repro.clique.measurement_filter import PersistenceFilter
+from repro.clique.cascade import CascadeResult, DecoderCascade
 from repro.codes.rotated_surface import RotatedSurfaceCode
-from repro.decoders.base import BatchDecodeResult, Decoder, DecodeResult
-from repro.decoders.mwpm import MWPMDecoder
-from repro.decoders.union_find import ClusteringDecoder
-from repro.exceptions import ConfigurationError
-from repro.types import Coord, DecodeLocation, StabilizerType
+from repro.decoders.base import Decoder
+from repro.decoders.mwpm import DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT
+from repro.decoders.registry import CLIQUE_TIER, TIER_DECODERS
+from repro.types import StabilizerType
 
-#: Named off-chip fallbacks selectable with ``HierarchicalDecoder(fallback=...)``.
-FALLBACK_DECODERS = {
-    "mwpm": MWPMDecoder,
-    "union_find": ClusteringDecoder,
-}
+#: Named off-chip fallbacks selectable with ``HierarchicalDecoder(fallback=...)``
+#: — the off-chip half of :data:`repro.decoders.registry.TIER_DECODERS`
+#: (re-exported here for backwards compatibility).
+FALLBACK_DECODERS = TIER_DECODERS
 
-
-@dataclass(frozen=True)
-class HierarchicalResult:
-    """Outcome of decoding a full multi-round history through the hierarchy.
-
-    Attributes:
-        correction: combined data-qubit correction (on-chip XOR off-chip).
-        onchip_correction: the part applied by the Clique decoder.
-        offchip_correction: the part applied by the off-chip fallback.
-        round_locations: per measurement round, whether it was resolved
-            on-chip or had to go off-chip.
-        offchip_rounds: indices of the rounds sent off-chip.
-    """
-
-    correction: frozenset[Coord]
-    onchip_correction: frozenset[Coord]
-    offchip_correction: frozenset[Coord]
-    round_locations: tuple[DecodeLocation, ...]
-    offchip_rounds: tuple[int, ...] = ()
-
-    @property
-    def num_rounds(self) -> int:
-        return len(self.round_locations)
-
-    @property
-    def num_offchip_rounds(self) -> int:
-        return len(self.offchip_rounds)
-
-    @property
-    def onchip_fraction(self) -> float:
-        """Fraction of rounds fully handled inside the refrigerator."""
-        if not self.round_locations:
-            return 1.0
-        return 1.0 - self.num_offchip_rounds / self.num_rounds
+#: Backwards-compatible name for the cascade's history-decode result.
+HierarchicalResult = CascadeResult
 
 
-class HierarchicalDecoder(Decoder):
+class HierarchicalDecoder(DecoderCascade):
     """Clique decoder + off-chip fallback, operating on multi-round histories.
+
+    A two-tier :class:`~repro.clique.cascade.DecoderCascade` with the
+    original hierarchy API: ``fallback`` names (or provides) the single
+    off-chip tier.
 
     Args:
         code: the surface code instance.
@@ -86,6 +55,8 @@ class HierarchicalDecoder(Decoder):
             decoder).  Defaults to a fresh MWPM decoder.
         measurement_rounds: window size of the Clique persistence filter
             (2 in the paper's primary design).
+        boundary_clique_cache_limit: bound on the MWPM tier's boundary-clique
+            edge cache (see :class:`~repro.decoders.mwpm.MWPMDecoder`).
     """
 
     def __init__(
@@ -94,202 +65,22 @@ class HierarchicalDecoder(Decoder):
         stype: StabilizerType,
         fallback: Decoder | str | None = None,
         measurement_rounds: int = 2,
+        boundary_clique_cache_limit: int = DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT,
     ) -> None:
-        super().__init__(code, stype)
-        self._clique = CliqueDecoder(code, stype)
         if fallback is None:
             fallback = "mwpm"
-        if isinstance(fallback, str):
-            try:
-                fallback = FALLBACK_DECODERS[fallback](code, stype)
-            except KeyError:
-                raise ConfigurationError(
-                    f"unknown fallback {fallback!r}; expected one of "
-                    f"{sorted(FALLBACK_DECODERS)} or a Decoder instance"
-                ) from None
-        self._fallback = fallback
-        self._filter = PersistenceFilter(measurement_rounds)
-
-    @property
-    def clique(self) -> CliqueDecoder:
-        return self._clique
+        super().__init__(
+            code,
+            stype,
+            tiers=(CLIQUE_TIER, fallback),
+            measurement_rounds=measurement_rounds,
+            boundary_clique_cache_limit=boundary_clique_cache_limit,
+        )
 
     @property
     def fallback(self) -> Decoder:
-        return self._fallback
-
-    @property
-    def measurement_rounds(self) -> int:
-        return self._filter.rounds
-
-    # ------------------------------------------------------------------
-    def decode_history(self, detections: np.ndarray) -> HierarchicalResult:
-        """Decode a full detection-event history round by round."""
-        matrix = self._as_detection_matrix(detections)
-        num_rounds = matrix.shape[0]
-        consumed = np.zeros_like(matrix)
-        offchip_mask = np.zeros_like(matrix)
-        onchip_correction: set[Coord] = set()
-        locations: list[DecodeLocation] = []
-        offchip_rounds: list[int] = []
-
-        for round_index in range(num_rounds):
-            visible = matrix[round_index] & ~consumed[round_index] & 1
-            sticky, transient = self._filter.split(
-                matrix & ~consumed & 1, round_index
-            )
-            sticky &= visible
-            transient &= visible
-            decision = self._clique.decide(sticky)
-            if decision.is_trivial:
-                onchip_correction ^= set(decision.correction)
-                # Transient events and their future partners are explained as
-                # measurement errors and never leave the chip.
-                partner_mask = self._filter.transient_partner_mask(
-                    matrix & ~consumed & 1, round_index, transient
-                )
-                consumed |= partner_mask
-                consumed[round_index] |= transient | sticky
-                locations.append(DecodeLocation.ON_CHIP)
-            else:
-                # The whole round's (unconsumed) events go to the off-chip decoder.
-                offchip_mask[round_index] = visible
-                consumed[round_index] |= visible
-                locations.append(DecodeLocation.OFF_CHIP)
-                offchip_rounds.append(round_index)
-
-        if offchip_mask.any():
-            fallback_result = self._fallback.decode(offchip_mask)
-            offchip_correction = set(fallback_result.correction)
-        else:
-            offchip_correction = set()
-
-        total = set(onchip_correction) ^ offchip_correction
-        return HierarchicalResult(
-            correction=frozenset(total),
-            onchip_correction=frozenset(onchip_correction),
-            offchip_correction=frozenset(offchip_correction),
-            round_locations=tuple(locations),
-            offchip_rounds=tuple(offchip_rounds),
-        )
-
-    # ------------------------------------------------------------------
-    def decode_batch(self, histories: np.ndarray) -> BatchDecodeResult:
-        """Vectorised batch decoding: triage all trials' rounds at once.
-
-        This is the paper's own triage insight applied to the simulator: the
-        overwhelming majority of rounds are trivially explainable by the
-        Clique logic, so their filtering, decision, and correction assembly
-        run as whole-batch array operations (a Python loop over *rounds*, not
-        over ``trials x rounds``).  Only the rare off-chip minority pays a
-        per-trial fallback decode.  The round-by-round dynamics below mirror
-        :meth:`decode_history` statement for statement, so the result is
-        bit-identical to the per-trial reference path.
-        """
-        batch = self._as_detection_batch(histories)
-        trials, num_rounds, _ = batch.shape
-        window = self._filter.rounds
-        active = batch.astype(bool)
-        consumed = np.zeros_like(active)
-        offchip_mask = np.zeros_like(batch)
-        offchip_round_counts = np.zeros(trials, dtype=np.int64)
-        corrections = np.zeros((trials, self._code.num_data_qubits), dtype=np.uint8)
-
-        for round_index in range(num_rounds):
-            # Only the filter window [round_index, round_index + window) is
-            # ever read, so the masked view is sliced to it.
-            window_end = min(round_index + window, num_rounds)
-            masked = (
-                active[:, round_index:window_end] & ~consumed[:, round_index:window_end]
-            )
-            visible = masked[:, 0]
-            if masked.shape[1] > 1:
-                repeats = masked[:, 1:].any(axis=1)
-            else:
-                repeats = np.zeros_like(visible)
-            sticky = visible & ~repeats
-            transient = visible & repeats
-            trivial = self._clique.is_trivial_batch(sticky)
-
-            # On-chip branch: corrections accumulate with XOR-across-rounds
-            # semantics, and each transient event consumes its first future
-            # partner flip so it is never decoded twice.
-            corrections ^= self._clique.correction_bitmap(sticky & trivial[:, None])
-            remaining = transient & trivial[:, None]
-            for offset in range(1, window_end - round_index):
-                if not remaining.any():
-                    break
-                hit = remaining & masked[:, offset]
-                consumed[:, round_index + offset] |= hit
-                remaining &= ~hit
-
-            # Off-chip branch: the round's whole visible signature is queued
-            # for the fallback decoder.
-            complex_rows = ~trivial
-            offchip_mask[complex_rows, round_index] = visible[complex_rows]
-            offchip_round_counts += complex_rows
-
-            # Both branches consume everything visible this round.
-            consumed[:, round_index] |= visible
-
-        offchip_trials = np.flatnonzero(offchip_round_counts)
-        if offchip_trials.size:
-            corrections[offchip_trials] ^= self._offchip_corrections(
-                offchip_mask[offchip_trials]
-            )
-
-        return BatchDecodeResult(
-            corrections=corrections,
-            onchip_rounds=num_rounds - offchip_round_counts,
-            total_rounds=np.full(trials, num_rounds, dtype=np.int64),
-        )
-
-    # ------------------------------------------------------------------
-    def _offchip_corrections(self, masks: np.ndarray) -> np.ndarray:
-        """Batched fallback decode of the off-chip trials' detection masks.
-
-        Fallbacks exposing ``decode_events_bitmap`` (MWPM, clustering) get the
-        fast path: one ``np.nonzero`` pass over the stacked masks yields every
-        off-chip trial's event list at once — in the same row-major
-        ``(round, ancilla)`` order a per-trial ``np.nonzero`` would produce,
-        which keeps equal-weight tie-breaks, and therefore results,
-        bit-identical to per-trial decoding.  Generic decoders fall back to a
-        per-trial :meth:`~repro.decoders.base.Decoder.decode` loop.
-        """
-        num_trials = masks.shape[0]
-        corrections = np.zeros((num_trials, self._code.num_data_qubits), dtype=np.uint8)
-        decode_events = getattr(self._fallback, "decode_events_bitmap", None)
-        if decode_events is None:
-            data_index = self._code.data_index
-            for trial in range(num_trials):
-                for qubit in self._fallback.decode(masks[trial]).correction:
-                    corrections[trial, data_index[qubit]] ^= 1
-            return corrections
-
-        trial_ids, rounds, ancillas = np.nonzero(masks)
-        bounds = np.searchsorted(trial_ids, np.arange(num_trials + 1))
-        for trial in range(num_trials):
-            start, end = bounds[trial], bounds[trial + 1]
-            if start == end:
-                continue
-            corrections[trial] = decode_events(
-                rounds[start:end], ancillas[start:end]
-            )
-        return corrections
-
-    # ------------------------------------------------------------------
-    def decode(self, detections: np.ndarray) -> DecodeResult:
-        """Decoder-interface wrapper returning the combined correction."""
-        result = self.decode_history(detections)
-        return DecodeResult(
-            correction=result.correction,
-            handled=True,
-            metadata={
-                "num_offchip_rounds": result.num_offchip_rounds,
-                "num_rounds": result.num_rounds,
-                "onchip_fraction": result.onchip_fraction,
-            },
-        )
+        """The single off-chip tier of the two-tier hierarchy."""
+        return self.offchip_tiers[0]
 
 
 __all__ = ["FALLBACK_DECODERS", "HierarchicalDecoder", "HierarchicalResult"]

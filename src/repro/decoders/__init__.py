@@ -10,6 +10,11 @@ from repro.decoders.base import BatchDecodeResult, Decoder, DecodeResult
 from repro.decoders.lookup import LookupDecoder
 from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
 from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.registry import (
+    TIER_DECODERS,
+    resolve_tier_spec,
+    tier_decoder_names,
+)
 from repro.decoders.union_find import ClusteringDecoder
 
 __all__ = [
@@ -21,4 +26,7 @@ __all__ = [
     "MWPMDecoder",
     "ClusteringDecoder",
     "LookupDecoder",
+    "TIER_DECODERS",
+    "resolve_tier_spec",
+    "tier_decoder_names",
 ]

@@ -46,11 +46,24 @@ class BatchDecodeResult:
             (all-zero for decoders that do not track decode locations).
         total_rounds: per-trial count of rounds with location tracking
             (all-zero for decoders that do not track decode locations).
+        tier_trials: for cascade decoders, int64 vector of length ``num_tiers``
+            counting the trials whose decoding terminated at each tier (tier 0
+            is the on-chip Clique tier; the entries sum to the trial count).
+            ``None`` for decoders without tier structure.
+        tier_rounds: for cascade decoders, int64 vector of length
+            ``num_tiers``: entry 0 is the total count of rounds resolved
+            on-chip, entry ``k >= 1`` is the total count of detection rounds
+            *shipped into* tier ``k`` — the tier boundary's bandwidth in
+            rounds (a trial escalated past tier 1 re-ships its whole off-chip
+            window, so its rounds count toward every tier it visited).
+            ``None`` for decoders without tier structure.
     """
 
     corrections: np.ndarray
     onchip_rounds: np.ndarray
     total_rounds: np.ndarray
+    tier_trials: np.ndarray | None = None
+    tier_rounds: np.ndarray | None = None
 
     @property
     def num_trials(self) -> int:
@@ -64,6 +77,19 @@ class Decoder(abc.ABC):
     ``(num_rounds, num_ancillas_of_type)`` — and return a
     :class:`DecodeResult` whose correction is expressed on data qubits.  A
     one-dimensional syndrome is accepted as shorthand for a single round.
+
+    Cascade tier contract (all optional):
+
+    * ``decode_events_bitmap(rounds, ancillas) -> uint8 bitmap`` — batched
+      final-tier decode of one trial's events given as flat index arrays in
+      row-major ``(round, ancilla)`` order (the order ``np.nonzero``
+      produces, which fixes equal-weight tie-breaks).  Decoders without it
+      are decoded per trial through :meth:`decode`.
+    * ``decode_events_tiered(rounds, ancillas) -> (bitmap | None, bool)`` —
+      decode-or-escalate for *intermediate* cascade tiers: either handle the
+      trial (``(bitmap, False)``) or defer it untouched to the next tier
+      (``(None, True)``).  A tier without this hook can only sit last in a
+      :class:`~repro.clique.cascade.DecoderCascade`.
     """
 
     def __init__(self, code: RotatedSurfaceCode, stype: StabilizerType) -> None:

@@ -162,6 +162,49 @@ class MatchingGraph:
         """Per-ancilla chain length to the boundary, shape ``(n,)`` (read-only)."""
         return self._boundary_distance_array
 
+    @property
+    def spatial_path_bitmaps(self) -> np.ndarray:
+        """Correction-path bitmaps per ancilla pair, shape ``(n, n, data)``.
+
+        ``spatial_path_bitmaps[a, b]`` is :meth:`spatial_path`'s qubit set as
+        a uint8 bitmap in ``code.data_index`` column order, so batched
+        decoders can XOR whole chains without per-qubit set manipulation.
+        Built lazily on first access (read-only).
+        """
+        if not hasattr(self, "_spatial_path_bitmaps"):
+            data_index = self._code.data_index
+            num_data = self._code.num_data_qubits
+            bitmaps = np.zeros(
+                (self._num_nodes, self._num_nodes, num_data), dtype=np.uint8
+            )
+            for a in range(self._num_nodes):
+                for b in range(self._num_nodes):
+                    for qubit in self._spatial_path[a][b]:
+                        bitmaps[a, b, data_index[qubit]] = 1
+            bitmaps.flags.writeable = False
+            self._spatial_path_bitmaps = bitmaps
+        return self._spatial_path_bitmaps
+
+    @property
+    def boundary_path_bitmaps(self) -> np.ndarray:
+        """Boundary correction-path bitmaps per ancilla, shape ``(n, data)``.
+
+        Row ``a`` is :meth:`boundary_path`'s qubit set as a uint8 bitmap in
+        ``code.data_index`` column order.  Built lazily on first access
+        (read-only).
+        """
+        if not hasattr(self, "_boundary_path_bitmaps"):
+            data_index = self._code.data_index
+            bitmaps = np.zeros(
+                (self._num_nodes, self._code.num_data_qubits), dtype=np.uint8
+            )
+            for a in range(self._num_nodes):
+                for qubit in self._boundary_path[a]:
+                    bitmaps[a, data_index[qubit]] = 1
+            bitmaps.flags.writeable = False
+            self._boundary_path_bitmaps = bitmaps
+        return self._boundary_path_bitmaps
+
     def spatial_distance(self, ancilla_a: int, ancilla_b: int) -> int:
         """Shortest data-error chain length connecting two ancillas."""
         return self._spatial_distance[ancilla_a][ancilla_b]

@@ -31,8 +31,68 @@ import networkx as nx
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.decoders.base import Decoder, DecodeResult
 from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
-from repro.exceptions import DecodingError
+from repro.exceptions import ConfigurationError, DecodingError
 from repro.types import StabilizerType
+
+#: Default bound on how many distinct event counts keep their boundary-clique
+#: edge lists cached (see ``boundary_clique_cache_limit``).
+DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT = 16
+
+
+def match_events_small(
+    distance: list[list[int]],
+    boundary_distance: list[int],
+) -> tuple[list[tuple[int, int]], list[int]]:
+    """Exact minimum-total-distance assignment by DP over event subsets.
+
+    ``best[mask]`` is the cheapest way to resolve the event subset ``mask``,
+    where every event is either paired with another event in the subset or
+    matched to the boundary — the same solution space the auxiliary matching
+    graph encodes.  Returns ``(pairs, boundary)`` as event *indices* into the
+    caller's arrays.  Module-level so other decoders (the clustering
+    decoder's intermediate-tier cluster resolution) can reuse the exact
+    matcher on their own small event sets.
+
+    Ties are broken deterministically: candidates are scanned in a fixed
+    order (the boundary first, then partners by ascending index) and only
+    a strictly cheaper candidate displaces the incumbent.  Even the
+    pathological all-zero-distance case therefore yields one canonical
+    assignment — every event to the boundary — so sharded and unsharded
+    runs can never diverge on equal-weight choices.
+    """
+    num = len(boundary_distance)
+    full = (1 << num) - 1
+    best = [0] * (full + 1)
+    choice: list[tuple[int, int]] = [(-1, -1)] * (full + 1)
+    for mask in range(1, full + 1):
+        lowest = (mask & -mask).bit_length() - 1
+        rest = mask ^ (1 << lowest)
+        best_cost = boundary_distance[lowest] + best[rest]
+        best_choice = (lowest, -1)
+        row = distance[lowest]
+        partners = rest
+        while partners:
+            partner = (partners & -partners).bit_length() - 1
+            partners &= partners - 1
+            cost = row[partner] + best[rest ^ (1 << partner)]
+            if cost < best_cost:
+                best_cost = cost
+                best_choice = (lowest, partner)
+        best[mask] = best_cost
+        choice[mask] = best_choice
+
+    pairs: list[tuple[int, int]] = []
+    boundary_matches: list[int] = []
+    mask = full
+    while mask:
+        event, partner = choice[mask]
+        if partner == -1:
+            boundary_matches.append(event)
+            mask ^= 1 << event
+        else:
+            pairs.append((event, partner))
+            mask ^= (1 << event) | (1 << partner)
+    return pairs, boundary_matches
 
 
 class MWPMDecoder(Decoder):
@@ -43,6 +103,16 @@ class MWPMDecoder(Decoder):
         stype: which stabilizer type's detection events this decoder handles.
         matching_graph: optionally share a precomputed :class:`MatchingGraph`
             (they are deterministic per ``(code, stype)``).
+        boundary_clique_cache_limit: how many distinct event counts retain
+            their zero-weight boundary-clique edge lists; rarer counts are
+            rebuilt on demand so the cache cannot grow unboundedly over a
+            long sharded run.  Deep-history workloads with a wide spread of
+            event counts can raise it.
+        boundary_clique_cache: optionally share one cache dict across several
+            decoder instances — the edge lists depend only on the event
+            count, so tiers of a :class:`~repro.clique.cascade.DecoderCascade`
+            built on the same :class:`MatchingGraph` share a single cache
+            instead of each warming its own.
     """
 
     def __init__(
@@ -50,12 +120,22 @@ class MWPMDecoder(Decoder):
         code: RotatedSurfaceCode,
         stype: StabilizerType,
         matching_graph: MatchingGraph | None = None,
+        boundary_clique_cache_limit: int = DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT,
+        boundary_clique_cache: dict[int, list] | None = None,
     ) -> None:
         super().__init__(code, stype)
         self._graph = matching_graph or MatchingGraph(code, stype)
+        if boundary_clique_cache_limit < 0:
+            raise ConfigurationError(
+                f"boundary_clique_cache_limit must be >= 0, "
+                f"got {boundary_clique_cache_limit}"
+            )
+        self._boundary_clique_cache_limit = boundary_clique_cache_limit
         # The zero-weight boundary-copy clique depends only on the event
         # count, so the edge lists are built once per count and reused.
-        self._boundary_clique_cache: dict[int, list] = {}
+        self._boundary_clique_cache: dict[int, list] = (
+            {} if boundary_clique_cache is None else boundary_clique_cache
+        )
 
     @property
     def matching_graph(self) -> MatchingGraph:
@@ -124,64 +204,12 @@ class MWPMDecoder(Decoder):
     #: O(2^n n) DP loses to blossom's polynomial scaling.
     _SMALL_CASE_LIMIT = 8
 
-    #: Largest number of distinct event counts whose boundary-clique edge
-    #: lists are retained; rarer counts are rebuilt on demand so the cache
-    #: cannot grow unboundedly over a long sharded run.
-    _BOUNDARY_CLIQUE_CACHE_LIMIT = 16
-
     def _match_small(
         self,
         distance: list[list[int]],
         boundary_distance: list[int],
     ) -> tuple[list[tuple[int, int]], list[int]]:
-        """Exact minimum-total-distance assignment by DP over event subsets.
-
-        ``best[mask]`` is the cheapest way to resolve the event subset
-        ``mask``, where every event is either paired with another event in the
-        subset or matched to the boundary — the same solution space the
-        auxiliary matching graph encodes.  Returns ``(pairs, boundary)`` as
-        event *indices* into the caller's arrays.
-
-        Ties are broken deterministically: candidates are scanned in a fixed
-        order (the boundary first, then partners by ascending index) and only
-        a strictly cheaper candidate displaces the incumbent.  Even the
-        pathological all-zero-distance case therefore yields one canonical
-        assignment — every event to the boundary — so sharded and unsharded
-        runs can never diverge on equal-weight choices.
-        """
-        num = len(boundary_distance)
-        full = (1 << num) - 1
-        best = [0] * (full + 1)
-        choice: list[tuple[int, int]] = [(-1, -1)] * (full + 1)
-        for mask in range(1, full + 1):
-            lowest = (mask & -mask).bit_length() - 1
-            rest = mask ^ (1 << lowest)
-            best_cost = boundary_distance[lowest] + best[rest]
-            best_choice = (lowest, -1)
-            row = distance[lowest]
-            partners = rest
-            while partners:
-                partner = (partners & -partners).bit_length() - 1
-                partners &= partners - 1
-                cost = row[partner] + best[rest ^ (1 << partner)]
-                if cost < best_cost:
-                    best_cost = cost
-                    best_choice = (lowest, partner)
-            best[mask] = best_cost
-            choice[mask] = best_choice
-
-        pairs: list[tuple[int, int]] = []
-        boundary_matches: list[int] = []
-        mask = full
-        while mask:
-            event, partner = choice[mask]
-            if partner == -1:
-                boundary_matches.append(event)
-                mask ^= 1 << event
-            else:
-                pairs.append((event, partner))
-                mask ^= (1 << event) | (1 << partner)
-        return pairs, boundary_matches
+        return match_events_small(distance, boundary_distance)
 
     def _boundary_clique_edges(self, num: int) -> list:
         """Zero-weight clique among the ``num`` boundary copies (nodes
@@ -193,7 +221,7 @@ class MWPMDecoder(Decoder):
                 for i in range(num)
                 for j in range(i + 1, num)
             ]
-            if len(self._boundary_clique_cache) < self._BOUNDARY_CLIQUE_CACHE_LIMIT:
+            if len(self._boundary_clique_cache) < self._boundary_clique_cache_limit:
                 self._boundary_clique_cache[num] = edges
         return edges
 
@@ -264,4 +292,4 @@ class MWPMDecoder(Decoder):
         )
 
 
-__all__ = ["MWPMDecoder"]
+__all__ = ["DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT", "MWPMDecoder", "match_events_small"]

@@ -21,14 +21,26 @@ import numpy as np
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.decoders.base import Decoder, DecodeResult
 from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
+from repro.decoders.mwpm import match_events_small
+from repro.exceptions import ConfigurationError
 from repro.types import Coord, StabilizerType
+
+#: Default escalation threshold used when the clustering decoder sits as an
+#: *intermediate* cascade tier.  Intermediate-tier clusters are resolved with
+#: the exact subset-DP matcher (cheap at cluster scale: the DP is exponential
+#: in the *cluster* size, not the trial's event count), so the threshold can
+#: sit at the DP's own practical limit: only trials containing a sprawling
+#: cluster beyond it — the cases where global blossom-grade matching actually
+#: earns its cost — escalate to the next tier.
+DEFAULT_ESCALATION_CLUSTER_SIZE = 8
 
 
 class _DisjointSets:
-    """Minimal union-find structure with path compression."""
+    """Minimal union-find structure with path compression and size tracking."""
 
     def __init__(self, count: int) -> None:
         self._parent = list(range(count))
+        self._size = [1] * count
 
     def find(self, item: int) -> int:
         root = item
@@ -38,23 +50,59 @@ class _DisjointSets:
             self._parent[item], item = root, self._parent[item]
         return root
 
-    def union(self, a: int, b: int) -> None:
+    def union(self, a: int, b: int) -> int:
+        """Merge the two components; return the merged component's size."""
         root_a, root_b = self.find(a), self.find(b)
         if root_a != root_b:
             self._parent[root_b] = root_a
+            self._size[root_a] += self._size[root_b]
+        return self._size[root_a]
 
 
 class ClusteringDecoder(Decoder):
-    """Union-find style clustering decoder over the space-time matching graph."""
+    """Union-find style clustering decoder over the space-time matching graph.
+
+    Args:
+        code: the surface code instance.
+        stype: which stabilizer type's detection events this decoder handles.
+        matching_graph: optionally share a precomputed :class:`MatchingGraph`.
+        escalation_cluster_size: when set, enables the *intermediate-tier*
+            mode used by :class:`~repro.clique.cascade.DecoderCascade`: a
+            trial whose grown clusters all hold at most this many events is
+            resolved here — each cluster matched *exactly* by the subset-DP
+            matcher, which is exponential in the cluster size only — while
+            any larger cluster escalates the whole trial, untouched, to the
+            next tier via :meth:`decode_events_tiered`.  ``None`` (the
+            default) never escalates, i.e. final-tier behaviour with the
+            decoder's classic greedy intra-cluster pairing; :meth:`decode`
+            and :meth:`decode_events_bitmap` always resolve everything
+            regardless of this setting.
+    """
 
     def __init__(
         self,
         code: RotatedSurfaceCode,
         stype: StabilizerType,
         matching_graph: MatchingGraph | None = None,
+        escalation_cluster_size: int | None = None,
     ) -> None:
         super().__init__(code, stype)
         self._graph = matching_graph or MatchingGraph(code, stype)
+        if escalation_cluster_size is not None and escalation_cluster_size < 1:
+            raise ConfigurationError(
+                f"escalation_cluster_size must be >= 1 (or None), "
+                f"got {escalation_cluster_size}"
+            )
+        self._escalation_cluster_size = escalation_cluster_size
+        # Plain-list copies of the dense distance tables: the hot path sees
+        # tiny event sets (a handful per off-chip trial), where Python list
+        # indexing beats numpy fancy-gather fixed costs by a wide margin.
+        self._spatial_distance_rows = self._graph.spatial_distance_matrix.tolist()
+        self._boundary_distance_list = self._graph.boundary_distance_array.tolist()
+
+    @property
+    def escalation_cluster_size(self) -> int | None:
+        return self._escalation_cluster_size
 
     # ------------------------------------------------------------------
     def decode(self, detections: np.ndarray) -> DecodeResult:
@@ -89,19 +137,104 @@ class ClusteringDecoder(Decoder):
         as in :meth:`decode`; the returned uint8 bitmap is then bit-identical
         to the per-trial path.
         """
-        bitmap = np.zeros(self._code.num_data_qubits, dtype=np.uint8)
-        events = [
-            SpaceTimeEvent(round=int(r), ancilla_index=int(a))
-            for r, a in zip(rounds, ancillas)
-        ]
-        if not events:
-            return bitmap
-        clusters, _ = self._grow_clusters(events)
-        data_index = self._code.data_index
-        for members in clusters:
-            for qubit in self._resolve_cluster([events[i] for i in members]):
-                bitmap[data_index[qubit]] ^= 1
+        bitmap, _ = self._decode_events_indices(rounds, ancillas, may_escalate=False)
         return bitmap
+
+    def decode_events_tiered(
+        self, rounds: np.ndarray, ancillas: np.ndarray
+    ) -> tuple[np.ndarray | None, bool]:
+        """Intermediate-tier decode-or-escalate over flat event index arrays.
+
+        Returns ``(bitmap, False)`` when every grown cluster holds at most
+        ``escalation_cluster_size`` events (or escalation is disabled), and
+        ``(None, True)`` — the trial untouched — otherwise.  The escalation
+        test runs *during* cluster growth, so it keys on the actual
+        space-time structure of the trial, not the raw event count: many
+        well-separated small clusters stay here (each resolved exactly by
+        the subset-DP matcher), one sprawling cluster escalates.
+        """
+        return self._decode_events_indices(rounds, ancillas, may_escalate=True)
+
+    def _decode_events_indices(
+        self, rounds: np.ndarray, ancillas: np.ndarray, may_escalate: bool
+    ) -> tuple[np.ndarray | None, bool]:
+        """Shared index-based decode path (no event objects on the hot path).
+
+        Cluster growth and greedy resolution run on plain int lists plus the
+        matching graph's dense distance/path-bitmap arrays; scan orders match
+        :meth:`decode`'s object-level path statement for statement, so the
+        resulting bitmap is bit-identical to per-trial decoding.
+        """
+        ancilla_list = np.asarray(ancillas, dtype=np.int64).tolist()
+        count = len(ancilla_list)
+        if count == 0:
+            return np.zeros(self._code.num_data_qubits, dtype=np.uint8), False
+        boundary_paths = self._graph.boundary_path_bitmaps
+        if count == 1:
+            # A lone event always grows to the boundary and resolves there;
+            # size-1 clusters never exceed an escalation threshold (>= 1).
+            return boundary_paths[ancilla_list[0]].copy(), False
+        round_list = np.asarray(rounds, dtype=np.int64).tolist()
+        spatial_rows = self._spatial_distance_rows
+        pair_distance = [
+            [
+                row[other] + (round_a - round_b if round_a >= round_b else round_b - round_a)
+                for other, round_b in zip(ancilla_list, round_list)
+            ]
+            for row, round_a in zip(
+                (spatial_rows[a] for a in ancilla_list), round_list
+            )
+        ]
+        boundary_distance = [self._boundary_distance_list[a] for a in ancilla_list]
+        threshold = self._escalation_cluster_size
+        clusters, _ = self._grow_clusters_core(
+            pair_distance,
+            boundary_distance,
+            abort_above=threshold if may_escalate and threshold is not None else None,
+        )
+        if clusters is None:
+            return None, True
+
+        bitmap = np.zeros(self._code.num_data_qubits, dtype=np.uint8)
+        spatial_paths = self._graph.spatial_path_bitmaps
+        exact = may_escalate and threshold is not None
+        for members in clusters:
+            if exact:
+                # Intermediate-tier mode: clusters small enough to stay here
+                # are resolved *exactly* with the subset-DP matcher — the DP
+                # is exponential in the cluster size only, so this is cheap
+                # where global matching over the whole trial would not be.
+                sub_distance = [
+                    [pair_distance[i][j] for j in members] for i in members
+                ]
+                sub_boundary = [boundary_distance[i] for i in members]
+                pairs, boundary_matches = match_events_small(
+                    sub_distance, sub_boundary
+                )
+                for i, j in pairs:
+                    bitmap ^= spatial_paths[
+                        ancilla_list[members[i]], ancilla_list[members[j]]
+                    ]
+                for i in boundary_matches:
+                    bitmap ^= boundary_paths[ancilla_list[members[i]]]
+                continue
+            # Final-tier mode mirrors _resolve_cluster: boundary-match the
+            # first closest-to-boundary event of an odd cluster, then greedily
+            # pair the rest (pop the last, scan remaining in order for the
+            # first nearest partner) — XORing precomputed chain bitmaps
+            # instead of building coordinate sets.
+            remaining = list(members)
+            if len(remaining) % 2 == 1:
+                closest = min(remaining, key=lambda i: boundary_distance[i])
+                remaining.remove(closest)
+                bitmap ^= boundary_paths[ancilla_list[closest]]
+            while remaining:
+                event = remaining.pop()
+                row = pair_distance[event]
+                partner = min(remaining, key=lambda other: row[other])
+                remaining.remove(partner)
+                bitmap ^= spatial_paths[ancilla_list[event], ancilla_list[partner]]
+        return bitmap, False
 
     # ------------------------------------------------------------------
     def _grow_clusters(
@@ -109,15 +242,11 @@ class ClusteringDecoder(Decoder):
     ) -> tuple[list[list[int]], int]:
         """Grow clusters until every cluster is even or touches the boundary.
 
-        Purely functional: all growth state (radii, distances) is local, so
-        the decoder instance stays stateless and safe to share across
-        threads.  Pair and boundary distances come from the matching graph's
-        dense arrays in two vectorised gathers instead of O(n^2) Python
-        method calls.
+        Object-level wrapper around :meth:`_grow_clusters_core`: pair and
+        boundary distances come from the matching graph's dense arrays in two
+        vectorised gathers instead of O(n^2) Python method calls.
         """
         count = len(events)
-        sets = _DisjointSets(count)
-        radius = [0] * count  # per-event growth radius; cluster radius is the max
         ancilla = np.fromiter(
             (event.ancilla_index for event in events), dtype=np.int64, count=count
         )
@@ -127,8 +256,34 @@ class ClusteringDecoder(Decoder):
         pair_distance = (
             self._graph.spatial_distance_matrix[np.ix_(ancilla, ancilla)]
             + np.abs(event_rounds[:, None] - event_rounds[None, :])
-        )
-        boundary_distance = self._graph.boundary_distance_array[ancilla]
+        ).tolist()
+        boundary_distance = self._graph.boundary_distance_array[ancilla].tolist()
+        return self._grow_clusters_core(pair_distance, boundary_distance)
+
+    def _grow_clusters_core(
+        self,
+        pair_distance: list[list[int]],
+        boundary_distance: list[int],
+        abort_above: int | None = None,
+    ) -> tuple[list[list[int]] | None, int]:
+        """Grow clusters over precomputed distance tables (plain int lists).
+
+        Purely functional: all growth state (radii, distances) is local, so
+        the decoder instance stays stateless and safe to share across
+        threads.
+
+        ``abort_above`` is the escalating caller's shortcut: cluster sizes
+        only ever grow, so the moment a merge produces a cluster larger than
+        the threshold the final decomposition is guaranteed to contain one
+        too — growth stops immediately and ``(None, steps)`` is returned,
+        yielding exactly the escalation decision full growth would reach
+        while skipping its remaining O(n^2) merge rounds.
+        """
+        count = len(boundary_distance)
+        sets = _DisjointSets(count)
+        radius = [0] * count  # per-event growth radius; cluster radius is the max
+        # No component can outgrow the event count, so ``count`` disables the abort.
+        abort_limit = abort_above if abort_above is not None else count
 
         def cluster_members() -> dict[int, list[int]]:
             members: dict[int, list[int]] = {}
@@ -159,11 +314,12 @@ class ClusteringDecoder(Decoder):
                     radius[i] += 1
             # Merge any clusters whose growth regions now touch.
             for i in range(count):
+                row = pair_distance[i]
+                radius_i = radius[i]
                 for j in range(i + 1, count):
-                    if sets.find(i) == sets.find(j):
-                        continue
-                    if pair_distance[i, j] <= radius[i] + radius[j]:
-                        sets.union(i, j)
+                    if row[j] <= radius_i + radius[j] and sets.find(i) != sets.find(j):
+                        if sets.union(i, j) > abort_limit:
+                            return None, growth_steps
         return list(cluster_members().values()), growth_steps
 
     def _resolve_cluster(self, members: list[SpaceTimeEvent]) -> frozenset[Coord]:
@@ -186,4 +342,4 @@ class ClusteringDecoder(Decoder):
         return frozenset(correction)
 
 
-__all__ = ["ClusteringDecoder"]
+__all__ = ["DEFAULT_ESCALATION_CLUSTER_SIZE", "ClusteringDecoder"]

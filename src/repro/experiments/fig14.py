@@ -14,9 +14,12 @@ decoder) run stops as soon as its logical-error-rate confidence interval is
 at most ``target_ci_width`` wide, with the scale's fixed budget as the cap.
 
 ``compare_fallbacks`` (registry id ``fig14_fallbacks``) adds the off-chip
-cost/accuracy trade-off row: the same workload decoded with the MWPM
-fallback and with the near-linear union-find fallback, with throughput
-alongside the logical error rates.
+cost/accuracy trade-off rows: the same workload decoded through different
+cascade specs (two-tier Clique+MWPM, two-tier Clique+union-find, and the
+Section 8.1 three-tier ``clique,union_find,mwpm`` cascade by default), with
+per-tier escalation rates and off-chip bandwidth alongside the logical error
+rates and throughput.  ``tiers=`` (the CLI's ``--tiers``) restricts the
+comparison to one cascade spec plus the two-tier MWPM reference.
 """
 
 from __future__ import annotations
@@ -24,9 +27,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.clique.hierarchical import HierarchicalDecoder
+from repro.clique.cascade import DecoderCascade
 from repro.codes.rotated_surface import RotatedSurfaceCode, get_code
 from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.registry import resolve_tier_spec
 from repro.exceptions import ConfigurationError
 from repro.experiments.base import ExperimentResult, sweep_cache
 from repro.noise.models import PhenomenologicalNoise
@@ -53,16 +57,45 @@ def _mwpm_factory(code: RotatedSurfaceCode, stype: StabilizerType) -> MWPMDecode
     return MWPMDecoder(code, stype)
 
 
-@dataclass(frozen=True)
-class _HierarchicalFactory:
-    """Picklable hierarchy factory carrying the off-chip fallback choice."""
+#: Display labels for cascade tier names (``clique,union_find,mwpm`` renders
+#: as ``Clique+UF+MWPM``).
+_TIER_LABELS = {"clique": "Clique", "mwpm": "MWPM", "union_find": "UF"}
 
-    fallback: str = "mwpm"
+
+def _cascade_label(tier_names: tuple[str, ...]) -> str:
+    return "+".join(_TIER_LABELS.get(name, name) for name in tier_names)
+
+
+@dataclass(frozen=True)
+class _CascadeFactory:
+    """Picklable cascade factory carrying the resolved tier spec."""
+
+    tiers: tuple[str, ...] = ("clique", "mwpm")
 
     def __call__(
         self, code: RotatedSurfaceCode, stype: StabilizerType
-    ) -> HierarchicalDecoder:
-        return HierarchicalDecoder(code, stype, fallback=self.fallback)
+    ) -> DecoderCascade:
+        return DecoderCascade(code, stype, tiers=self.tiers)
+
+
+def _resolve_cascade(
+    tiers: str | tuple[str, ...] | None, fallback: str | None
+) -> tuple[str, ...]:
+    """Resolve the ``tiers``/``fallback`` pair into validated tier names.
+
+    ``tiers`` generalises (and supersedes) ``fallback``; passing both is
+    rejected rather than silently preferring one.  Unknown names fail here —
+    eagerly, with the registry's clean error listing the valid decoders —
+    instead of surfacing from inside a decode call or a pooled worker.
+    """
+    if tiers is not None and fallback is not None:
+        raise ConfigurationError(
+            "pass either tiers=... (cascade spec) or fallback=... (two-tier "
+            "shorthand), not both"
+        )
+    if tiers is None:
+        return resolve_tier_spec(("clique", fallback if fallback is not None else "mwpm"))
+    return resolve_tier_spec(tiers)
 
 
 def _resolve_scale(
@@ -97,7 +130,7 @@ def _memory_point_config(
     trials: int,
     engine: str,
     decoder: str,
-    fallback: str | None,
+    tiers: tuple[str, ...] | None,
     stop: WilsonStoppingRule | None,
 ) -> dict[str, object]:
     """The fully resolved, stream-determining config of one fig14 point.
@@ -107,8 +140,14 @@ def _memory_point_config(
     chunk size to :data:`~repro.simulation.shard.DEFAULT_SHARD_TRIALS`) so
     implicit and explicit spellings key identically, and ``workers`` is
     excluded because it never affects the counts.
+
+    Cascade topology participates in the key through the resolved tier
+    names: a two-tier cascade keeps the historical ``"fallback"`` spelling
+    (so stores populated before the N-tier refactor stay warm — the numbers
+    are bit-identical), while deeper cascades add an explicit ``"tiers"``
+    entry, making every distinct topology a distinct key.
     """
-    return {
+    config = {
         "kind": "memory",
         "distance": distance,
         "error_rate": error_rate,
@@ -117,7 +156,7 @@ def _memory_point_config(
         "engine": engine,
         "chunk_trials": DEFAULT_SHARD_TRIALS if engine == "sharded" else None,
         "decoder": decoder,
-        "fallback": fallback,
+        "fallback": tiers[1] if tiers is not None and len(tiers) == 2 else None,
         "stype": StabilizerType.X.value,
         "adaptive": None
         if stop is None
@@ -128,6 +167,9 @@ def _memory_point_config(
             "z": stop.z,
         },
     }
+    if tiers is not None and len(tiers) > 2:
+        config["tiers"] = list(tiers)
+    return config
 
 
 def run(
@@ -138,7 +180,8 @@ def run(
     rounds: int | None = None,
     engine: str | None = None,
     scale: str = "laptop",
-    fallback: str = "mwpm",
+    fallback: str | None = None,
+    tiers: str | tuple[str, ...] | None = None,
     workers: int | None = None,
     adaptive: bool = False,
     target_ci_width: float | None = None,
@@ -161,8 +204,12 @@ def run(
             (``adaptive`` forces sharded).
         scale: ``"laptop"`` (seconds, d<=7) or ``"paper"`` (d=3-11 with
             per-distance budgets — the Fig. 14 divergence regime).
-        fallback: off-chip fallback for the hierarchy (``"mwpm"`` or
-            ``"union_find"``).
+        fallback: two-tier shorthand — the hierarchy's single off-chip tier
+            (``"mwpm"``, the default, or ``"union_find"``).
+        tiers: full cascade spec generalising ``fallback`` — a
+            comma-separated string or name tuple starting with ``"clique"``,
+            e.g. ``"clique,union_find,mwpm"`` for the paper's Section 8.1
+            three-tier cascade.  Mutually exclusive with ``fallback``.
         workers: worker processes for the sharded engine; rejected with any
             other engine (a silently ignored value would suggest the run was
             parallelised when it was not).
@@ -192,7 +239,8 @@ def run(
         target_ci_width = 0.02
     if adaptive:
         engine = "sharded"
-    hierarchy_name = "Clique+" + ("UF" if fallback == "union_find" else "MWPM")
+    cascade_tiers = _resolve_cascade(tiers, fallback)
+    hierarchy_name = _cascade_label(cascade_tiers)
     cache = sweep_cache(store, "fig14", force)
     rows = []
     for distance_index, distance in enumerate(distances):
@@ -211,7 +259,7 @@ def run(
                 else None
             )
 
-            def _decoder_run(decoder_label, factory, decoder_fallback=None):
+            def _decoder_run(decoder_label, factory, decoder_tiers=None):
                 config = _memory_point_config(
                     distance,
                     error_rate,
@@ -219,7 +267,7 @@ def run(
                     point_trials,
                     engine,
                     decoder_label,
-                    decoder_fallback,
+                    decoder_tiers,
                     stop,
                 )
                 return cache.point(
@@ -246,7 +294,7 @@ def run(
 
             baseline = _decoder_run("MWPM", _mwpm_factory)
             hierarchical = _decoder_run(
-                hierarchy_name, _HierarchicalFactory(fallback), fallback
+                hierarchy_name, _CascadeFactory(cascade_tiers), cascade_tiers
             )
             rows.append(
                 {
@@ -266,7 +314,7 @@ def run(
         "Paper observation: Clique+MWPM tracks the MWPM baseline almost exactly\n"
         "at d=3/5/7 and is marginally worse at d=9/11 because the primary design\n"
         "only uses two measurement rounds for persistence filtering.\n"
-        f"(scale={scale}, engine={engine}, fallback={fallback}"
+        f"(scale={scale}, engine={engine}, tiers={','.join(cascade_tiers)}"
         + (f", adaptive: Wilson width <= {target_ci_width})" if adaptive else ")")
     )
     return ExperimentResult(
@@ -275,6 +323,22 @@ def run(
         rows=rows,
         notes=notes,
     )
+
+
+#: Cascade specs compared by default in ``fig14_fallbacks``: both two-tier
+#: hierarchies plus the paper's Section 8.1 three-tier cascade.
+DEFAULT_FALLBACK_SPECS = (
+    ("clique", "mwpm"),
+    ("clique", "union_find"),
+    ("clique", "union_find", "mwpm"),
+)
+
+
+def _format_fractions(values: tuple[float, ...]) -> str:
+    """Render a per-tier fraction tuple as a compact ``a/b/c`` column value."""
+    if not values:
+        return "-"
+    return "/".join(f"{value:.4f}" for value in values)
 
 
 def compare_fallbacks(
@@ -286,41 +350,53 @@ def compare_fallbacks(
     engine: str = "batch",
     workers: int | None = None,
     fallback: str | None = None,
+    tiers: str | tuple[str, ...] | None = None,
 ) -> ExperimentResult:
-    """Accuracy/throughput of the hierarchy's off-chip fallbacks side by side.
+    """Accuracy/throughput of the hierarchy's off-chip cascades side by side.
 
-    One row per (distance, fallback): the union-find clustering decoder
-    scales near-linearly where blossom is cubic, at some accuracy cost —
-    exactly the d>=9 trade-off the paper's Section 8.1 hierarchy sketch
-    motivates.  Wall-clock throughput is measured around the full memory
-    experiment, so it reflects the fallback's real share of the pipeline.
+    One row per (distance, cascade spec): the union-find clustering decoder
+    scales near-linearly where blossom is cubic, at some accuracy cost — and
+    the three-tier ``clique,union_find,mwpm`` cascade of the paper's Section
+    8.1 recovers most of MWPM's accuracy while shipping only the union-find
+    tier's *disagreement set* to the exact matcher.  Wall-clock throughput is
+    measured around the full memory experiment, so it reflects each tier's
+    real share of the pipeline; the per-tier columns report where trials
+    terminated (``tier_trial_split``), the fraction escalated past each tier
+    boundary (``escalation_rates``), and the off-chip bandwidth in detection
+    rounds per trial entering tier 1 (``offchip_rounds_per_trial``) and the
+    final tier (``final_tier_rounds_per_trial``).
 
-    ``fallback`` restricts the comparison to a single named fallback (the
-    CLI's ``--fallback`` flag); the default measures both.
+    ``fallback`` restricts the comparison to a single two-tier hierarchy
+    (the CLI's ``--fallback`` flag); ``tiers`` (the CLI's ``--tiers``)
+    compares one full cascade spec against the two-tier MWPM reference.
     """
-    if fallback is None:
-        fallbacks = ("mwpm", "union_find")
-    elif fallback in ("mwpm", "union_find"):
-        fallbacks = (fallback,)
-    else:
+    if tiers is not None and fallback is not None:
         raise ConfigurationError(
-            f"fallback must be 'mwpm' or 'union_find', got {fallback!r}"
+            "pass either tiers=... (cascade spec) or fallback=... (two-tier "
+            "shorthand), not both"
         )
+    if tiers is not None:
+        spec = resolve_tier_spec(tiers)
+        specs = [("clique", "mwpm"), spec] if spec != ("clique", "mwpm") else [spec]
+    elif fallback is not None:
+        specs = [resolve_tier_spec(("clique", fallback))]
+    else:
+        specs = [resolve_tier_spec(spec) for spec in DEFAULT_FALLBACK_SPECS]
     rows = []
     for distance_index, distance in enumerate(distances):
         code = get_code(distance)
         noise = PhenomenologicalNoise(error_rate)
         base_seed = point_seed(seed, distance_index)
-        for fallback in fallbacks:
+        for spec in specs:
             start = time.perf_counter()
             result = run_memory_experiment(
                 code,
                 noise,
-                _HierarchicalFactory(fallback),
+                _CascadeFactory(spec),
                 trials=trials,
                 rounds=rounds,
                 rng=base_seed,
-                decoder_name=f"Clique+{fallback}",
+                decoder_name=_cascade_label(spec),
                 engine=engine,
                 workers=workers,
             )
@@ -329,21 +405,34 @@ def compare_fallbacks(
                 {
                     "code_distance": distance,
                     "physical_error_rate": error_rate,
-                    "fallback": fallback,
+                    "tiers": ",".join(spec),
                     "trials": trials,
                     "logical_error_rate": result.logical_error_rate,
                     "ci_high": result.confidence_interval[1],
                     "onchip_round_fraction": result.onchip_round_fraction,
+                    "tier_trial_split": _format_fractions(
+                        result.tier_trial_fractions
+                    ),
+                    "escalation_rates": _format_fractions(result.escalation_rates),
+                    "offchip_rounds_per_trial": round(
+                        result.tier_rounds_per_trial(1), 4
+                    ),
+                    "final_tier_rounds_per_trial": round(
+                        result.tier_rounds_per_trial(result.num_tiers - 1), 4
+                    ),
                     "trials_per_sec": round(trials / elapsed, 1),
                 }
             )
     notes = (
-        "Same seed per distance, so the two fallbacks decode identical error\n"
-        "histories; any logical-error-rate gap is purely the fallback's accuracy."
+        "Same seed per distance, so every cascade decodes identical error\n"
+        "histories; any logical-error-rate gap is purely the off-chip tiers'\n"
+        "accuracy.  escalation_rates lists, per tier boundary, the fraction of\n"
+        "trials handed past that tier; *_rounds_per_trial are the boundary\n"
+        "bandwidths in detection rounds."
     )
     return ExperimentResult(
         experiment_id="fig14_fallbacks",
-        title="Off-chip fallback trade-off: MWPM vs union-find",
+        title="Off-chip cascade trade-off: MWPM vs union-find vs three-tier",
         rows=rows,
         notes=notes,
     )
@@ -354,6 +443,7 @@ __all__ = [
     "compare_fallbacks",
     "DEFAULT_DISTANCES",
     "DEFAULT_ERROR_RATES",
+    "DEFAULT_FALLBACK_SPECS",
     "PAPER_DISTANCES",
     "PAPER_TRIAL_BUDGETS",
 ]

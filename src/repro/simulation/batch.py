@@ -101,6 +101,9 @@ def run_memory_experiment_batch(
     num_data = code.num_data_qubits
     num_ancillas = code.num_ancillas_of_type(stype)
 
+    tier_names = tuple(getattr(decoder, "tier_names", ()) or ())
+    tier_trials = np.zeros(len(tier_names), dtype=np.int64)
+    tier_rounds = np.zeros(len(tier_names), dtype=np.int64)
     failures = 0
     onchip_rounds = 0
     total_rounds = 0
@@ -130,6 +133,9 @@ def run_memory_experiment_batch(
         failures += int(((residual.astype(np.int64) @ logical_bitmap) & 1).sum())
         onchip_rounds += int(batch_result.onchip_rounds.sum())
         total_rounds += int(batch_result.total_rounds.sum())
+        if tier_names and batch_result.tier_trials is not None:
+            tier_trials += batch_result.tier_trials
+            tier_rounds += batch_result.tier_rounds
         remaining -= chunk
 
     return MemoryExperimentResult(
@@ -141,6 +147,9 @@ def run_memory_experiment_batch(
         decoder_name=decoder_name or decoder.name,
         onchip_rounds=onchip_rounds,
         total_rounds=total_rounds,
+        tier_names=tier_names,
+        tier_trials=tuple(int(n) for n in tier_trials),
+        tier_rounds=tuple(int(n) for n in tier_rounds),
     )
 
 

@@ -50,7 +50,19 @@ from repro.types import StabilizerType
 
 @dataclass(frozen=True)
 class MemoryExperimentResult:
-    """Logical-error-rate estimate from a batch of memory-experiment trials."""
+    """Logical-error-rate estimate from a batch of memory-experiment trials.
+
+    The ``tier_*`` fields are populated when the decoder under test is a
+    :class:`~repro.clique.cascade.DecoderCascade` (tier 0 is the on-chip
+    Clique tier) and stay empty for flat decoders:
+
+    * ``tier_trials[k]`` — trials whose decoding terminated at tier ``k``
+      (sums to ``trials``);
+    * ``tier_rounds[0]`` — rounds resolved on-chip, ``tier_rounds[k >= 1]``
+      — rounds shipped *into* tier ``k`` (an escalated trial re-ships its
+      whole off-chip window, so its rounds count toward every tier it
+      visited) — the per-boundary bandwidth in rounds.
+    """
 
     physical_error_rate: float
     code_distance: int
@@ -60,6 +72,16 @@ class MemoryExperimentResult:
     decoder_name: str
     onchip_rounds: int = 0
     total_rounds: int = 0
+    tier_names: tuple[str, ...] = ()
+    tier_trials: tuple[int, ...] = ()
+    tier_rounds: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Store round-trips decode JSON arrays as lists; normalise so
+        # computed and store-loaded results compare (and hash) identically.
+        object.__setattr__(self, "tier_names", tuple(self.tier_names))
+        object.__setattr__(self, "tier_trials", tuple(int(n) for n in self.tier_trials))
+        object.__setattr__(self, "tier_rounds", tuple(int(n) for n in self.tier_rounds))
 
     @property
     def logical_error_rate(self) -> float:
@@ -75,6 +97,42 @@ class MemoryExperimentResult:
         if self.total_rounds == 0:
             return 0.0
         return self.onchip_rounds / self.total_rounds
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.tier_trials)
+
+    @property
+    def tier_trial_fractions(self) -> tuple[float, ...]:
+        """Fraction of trials whose decoding terminated at each tier."""
+        if not self.trials:
+            return tuple(0.0 for _ in self.tier_trials)
+        return tuple(n / self.trials for n in self.tier_trials)
+
+    def escalation_rate(self, boundary: int) -> float:
+        """Fraction of trials escalated past tier ``boundary`` (0-indexed).
+
+        ``escalation_rate(0)`` is the fraction of trials that left the chip
+        at all; ``escalation_rate(1)`` the fraction the first off-chip tier
+        handed on; and so forth.
+        """
+        if not self.trials or boundary >= len(self.tier_trials):
+            return 0.0
+        return sum(self.tier_trials[boundary + 1 :]) / self.trials
+
+    @property
+    def escalation_rates(self) -> tuple[float, ...]:
+        """Per-boundary escalation rates (one entry per tier boundary)."""
+        return tuple(
+            self.escalation_rate(k) for k in range(max(len(self.tier_trials) - 1, 0))
+        )
+
+    def tier_rounds_per_trial(self, tier: int) -> float:
+        """Average detection rounds shipped into ``tier`` per trial — the
+        tier boundary's off-chip bandwidth in rounds."""
+        if not self.trials or tier >= len(self.tier_rounds):
+            return 0.0
+        return self.tier_rounds[tier] / self.trials
 
 
 def run_memory_trial(
@@ -242,6 +300,9 @@ def run_memory_experiment(
 
     generator = make_rng(rng)
     decoder = decoder_factory(code, stype)
+    tier_names = tuple(getattr(decoder, "tier_names", ()) or ())
+    tier_trials = [0] * len(tier_names)
+    tier_rounds = [0] * len(tier_names)
     failures = 0
     onchip_rounds = 0
     total_rounds = 0
@@ -249,8 +310,17 @@ def run_memory_experiment(
         failed, metadata = run_memory_trial(code, stype, noise, decoder, rounds, generator)
         failures += int(failed)
         if "num_offchip_rounds" in metadata and "num_rounds" in metadata:
-            onchip_rounds += metadata["num_rounds"] - metadata["num_offchip_rounds"]
+            offchip = metadata["num_offchip_rounds"]
+            onchip_rounds += metadata["num_rounds"] - offchip
             total_rounds += metadata["num_rounds"]
+            if tier_names and "handled_tier" in metadata:
+                # A trial handled at tier h passed through every off-chip
+                # tier 1..h, re-shipping its whole off-chip window each time.
+                handled = metadata["handled_tier"]
+                tier_trials[handled] += 1
+                tier_rounds[0] += metadata["num_rounds"] - offchip
+                for tier in range(1, handled + 1):
+                    tier_rounds[tier] += offchip
 
     return MemoryExperimentResult(
         physical_error_rate=noise.data_error_rate,
@@ -261,6 +331,9 @@ def run_memory_experiment(
         decoder_name=decoder_name or decoder.name,
         onchip_rounds=onchip_rounds,
         total_rounds=total_rounds,
+        tier_names=tier_names,
+        tier_trials=tuple(tier_trials),
+        tier_rounds=tuple(tier_rounds),
     )
 
 

@@ -226,7 +226,15 @@ class AdaptiveShardRun:
 
 #: Format tag of the adaptive checkpoint state; bump on layout changes so a
 #: stale file from an older build is ignored rather than misread.
-CHECKPOINT_STATE_VERSION = 1
+#: v2: memory-kernel partials grew per-tier cascade counts (nested tuples).
+CHECKPOINT_STATE_VERSION = 2
+
+
+def _deep_tuple(value: Any) -> Any:
+    """Recursively turn JSON lists back into the tuples the kernels emit."""
+    if isinstance(value, list):
+        return tuple(_deep_tuple(item) for item in value)
+    return value
 
 
 def _load_checkpoint_state(
@@ -249,8 +257,9 @@ def _load_checkpoint_state(
         return None
     if merged is None or trials_done <= 0 or next_index <= 0:
         return None
-    # Merged partials are tuples in-memory; JSON stored them as a list.
-    return tuple(merged) if isinstance(merged, list) else merged, trials_done, next_index
+    # Merged partials are (possibly nested) tuples in-memory; JSON stored
+    # them as lists.
+    return _deep_tuple(merged), trials_done, next_index
 
 
 def run_sharded_adaptive(
@@ -354,7 +363,9 @@ class MemoryKernel:
     """Picklable memory-experiment shard kernel (rides the batch engine).
 
     Partial results are ``(logical_failures, onchip_rounds, total_rounds,
-    decoder_name)`` tuples, merged with :func:`merge_memory_counts`.
+    decoder_name, tier_names, tier_trials, tier_rounds)`` tuples — the tier
+    entries are per-cascade-tier count tuples, empty for flat decoders —
+    merged with :func:`merge_memory_counts`.
     """
 
     code: RotatedSurfaceCode
@@ -365,7 +376,7 @@ class MemoryKernel:
 
     def __call__(
         self, shard_trials: int, rng: np.random.Generator
-    ) -> tuple[int, int, int, str]:
+    ) -> tuple[int, int, int, str, tuple, tuple, tuple]:
         from repro.simulation.batch import run_memory_experiment_batch
 
         result = run_memory_experiment_batch(
@@ -382,14 +393,26 @@ class MemoryKernel:
             result.onchip_rounds,
             result.total_rounds,
             result.decoder_name,
+            result.tier_names,
+            result.tier_trials,
+            result.tier_rounds,
         )
 
 
 def merge_memory_counts(
-    left: tuple[int, int, int, str], right: tuple[int, int, int, str]
-) -> tuple[int, int, int, str]:
+    left: tuple[int, int, int, str, tuple, tuple, tuple],
+    right: tuple[int, int, int, str, tuple, tuple, tuple],
+) -> tuple[int, int, int, str, tuple, tuple, tuple]:
     """Associative merge for :class:`MemoryKernel` partials."""
-    return (left[0] + right[0], left[1] + right[1], left[2] + right[2], left[3])
+    return (
+        left[0] + right[0],
+        left[1] + right[1],
+        left[2] + right[2],
+        left[3],
+        tuple(left[4]),
+        tuple(a + b for a, b in zip(left[5], right[5])),
+        tuple(a + b for a, b in zip(left[6], right[6])),
+    )
 
 
 def _memory_successes(counts: tuple[int, int, int, str]) -> int:
@@ -433,7 +456,7 @@ def run_memory_experiment_sharded(
     from repro.simulation.memory import MemoryExperimentResult
 
     rounds = _resolve_rounds(code, rounds)
-    failures, onchip_rounds, total_rounds, kernel_name = run_sharded(
+    failures, onchip_rounds, total_rounds, kernel_name, tier_names, tier_trials, tier_rounds = run_sharded(
         MemoryKernel(code, noise, decoder_factory, rounds, stype),
         trials=trials,
         seed=rng,
@@ -450,6 +473,9 @@ def run_memory_experiment_sharded(
         decoder_name=decoder_name or kernel_name,
         onchip_rounds=onchip_rounds,
         total_rounds=total_rounds,
+        tier_names=tier_names,
+        tier_trials=tier_trials,
+        tier_rounds=tier_rounds,
     )
 
 
@@ -486,7 +512,7 @@ def run_memory_experiment_adaptive(
         merge=merge_memory_counts,
         checkpoint=checkpoint,
     )
-    failures, onchip_rounds, total_rounds, kernel_name = run.value
+    failures, onchip_rounds, total_rounds, kernel_name, tier_names, tier_trials, tier_rounds = run.value
     return MemoryExperimentResult(
         physical_error_rate=noise.data_error_rate,
         code_distance=code.distance,
@@ -496,6 +522,9 @@ def run_memory_experiment_adaptive(
         decoder_name=decoder_name or kernel_name,
         onchip_rounds=onchip_rounds,
         total_rounds=total_rounds,
+        tier_names=tier_names,
+        tier_trials=tier_trials,
+        tier_rounds=tier_rounds,
     )
 
 

@@ -143,6 +143,53 @@ class ResultStore:
             self.root / CHECKPOINTS_DIRNAME / f"{key}.json"
         )
 
+    # ------------------------------------------------------------------
+    def compact(self) -> dict[str, int]:
+        """Garbage-collect the store in place.
+
+        ``results.jsonl`` grows one line per completed point *write* — a
+        ``--force`` re-run, a torn tail from a kill, or a key rewritten many
+        times over a long-lived store all leave dead lines behind that every
+        later open re-parses.  Compaction rewrites the file atomically
+        (tmp + rename) keeping exactly the last-write-wins record per key,
+        and deletes *orphaned* adaptive checkpoints — mid-point state whose
+        key already has a durable result, i.e. leftovers of runs killed
+        between convergence and checkpoint cleanup.  Checkpoints for keys
+        with no stored result are live mid-point state and are kept.
+
+        Returns a summary dict: ``records_kept``, ``lines_dropped``, and
+        ``checkpoints_dropped``.
+        """
+        self._index = None  # re-read the file, not a possibly stale cache
+        lines_total = 0
+        if self._results_path.exists():
+            with self._results_path.open("r", encoding="utf-8") as handle:
+                lines_total = sum(1 for line in handle if line.strip())
+        index = self._load_index()
+        if self._results_path.exists() or index:
+            tmp = self._results_path.with_suffix(".tmp")
+            with tmp.open("w", encoding="utf-8") as handle:
+                for key, record in index.items():
+                    handle.write(
+                        json.dumps({"key": key, "record": record}, sort_keys=True)
+                        + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._results_path)
+        checkpoints_dropped = 0
+        checkpoints_dir = self.root / CHECKPOINTS_DIRNAME
+        if checkpoints_dir.is_dir():
+            for path in sorted(checkpoints_dir.glob("*.json")):
+                if path.stem in index:
+                    path.unlink()
+                    checkpoints_dropped += 1
+        return {
+            "records_kept": len(index),
+            "lines_dropped": lines_total - len(index),
+            "checkpoints_dropped": checkpoints_dropped,
+        }
+
 
 class SweepCache:
     """One experiment run's view of a store: compute-or-reuse per sweep point.

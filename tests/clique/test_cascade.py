@@ -1,0 +1,374 @@
+"""Tests for the N-tier decoder cascade (Clique -> ... -> final matcher).
+
+Covers the tier contract (escalation masks, construction validation), the
+bit-identity of the batched cascade path against the per-trial reference, and
+— the refactor's load-bearing guarantee — the two-tier alias's bit-identity
+with the *pre-refactor* ``HierarchicalDecoder`` under fixed seeds on all
+three Monte-Carlo engines, pinned against frozen seeded outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clique.cascade import CascadeResult, DecoderCascade
+from repro.clique.decoder import CliqueDecoder
+from repro.clique.hierarchical import HierarchicalDecoder, HierarchicalResult
+from repro.codes.rotated_surface import get_code
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.registry import resolve_tier_spec, tier_decoder_names
+from repro.decoders.union_find import ClusteringDecoder
+from repro.exceptions import ConfigurationError
+from repro.noise.models import PhenomenologicalNoise
+from repro.simulation.memory import run_memory_experiment
+from repro.types import StabilizerType
+
+THREE_TIER = ("clique", "union_find", "mwpm")
+
+
+def _width(code):
+    return code.num_ancillas_of_type(StabilizerType.X)
+
+
+class _CascadeFactory:
+    """Picklable factory for sharded-engine tests."""
+
+    def __init__(self, tiers):
+        self.tiers = tuple(tiers)
+
+    def __call__(self, code, stype):
+        return DecoderCascade(code, stype, tiers=self.tiers)
+
+
+class _HierarchicalFactory:
+    def __init__(self, fallback):
+        self.fallback = fallback
+
+    def __call__(self, code, stype):
+        return HierarchicalDecoder(code, stype, fallback=self.fallback)
+
+
+class TestTierSpecResolution:
+    def test_comma_string_and_tuple_agree(self):
+        assert resolve_tier_spec("clique,union_find,mwpm") == THREE_TIER
+        assert resolve_tier_spec(THREE_TIER) == THREE_TIER
+
+    def test_whitespace_is_tolerated(self):
+        assert resolve_tier_spec("clique, union_find , mwpm") == THREE_TIER
+
+    def test_unknown_tier_lists_valid_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_tier_spec("clique,blossom")
+        message = str(excinfo.value)
+        for name in tier_decoder_names():
+            assert name in message
+
+    def test_must_start_with_clique(self):
+        with pytest.raises(ConfigurationError, match="clique"):
+            resolve_tier_spec("union_find,mwpm")
+
+    def test_non_escalating_mid_tier_rejected_eagerly(self):
+        # The eager-validation guarantee: a decoder with no escalation path
+        # in an intermediate slot fails at spec time, before any sweep work.
+        with pytest.raises(ConfigurationError, match="mid-cascade"):
+            resolve_tier_spec("clique,mwpm,union_find")
+        assert resolve_tier_spec("clique,union_find,mwpm") == THREE_TIER
+
+    def test_needs_an_offchip_tier(self):
+        with pytest.raises(ConfigurationError):
+            resolve_tier_spec("clique")
+
+
+class TestConstruction:
+    def test_string_spec_builds_three_tiers(self, code_d5):
+        cascade = DecoderCascade(code_d5, StabilizerType.X, tiers="clique,union_find,mwpm")
+        assert cascade.tier_names == THREE_TIER
+        assert cascade.num_tiers == 3
+        assert isinstance(cascade.offchip_tiers[0], ClusteringDecoder)
+        assert isinstance(cascade.offchip_tiers[1], MWPMDecoder)
+
+    def test_intermediate_union_find_gets_escalation_policy(self, code_d5):
+        cascade = DecoderCascade(code_d5, StabilizerType.X, tiers=THREE_TIER)
+        assert cascade.offchip_tiers[0].escalation_cluster_size is not None
+        # A *final* union-find tier must resolve everything it receives.
+        two_tier = DecoderCascade(code_d5, StabilizerType.X, tiers=("clique", "union_find"))
+        assert two_tier.offchip_tiers[0].escalation_cluster_size is None
+
+    def test_named_tiers_share_matching_graph(self, code_d5):
+        cascade = DecoderCascade(code_d5, StabilizerType.X, tiers=THREE_TIER)
+        assert cascade.offchip_tiers[0]._graph is cascade.offchip_tiers[1]._graph
+
+    def test_boundary_clique_cache_limit_threads_through(self, code_d5):
+        cascade = DecoderCascade(
+            code_d5, StabilizerType.X, tiers=THREE_TIER, boundary_clique_cache_limit=3
+        )
+        mwpm = cascade.offchip_tiers[1]
+        for num in range(2, 12):
+            mwpm._boundary_clique_edges(num)
+        assert len(mwpm._boundary_clique_cache) == 3
+
+    def test_hierarchical_cache_limit_kwarg(self, code_d5):
+        decoder = HierarchicalDecoder(
+            code_d5, StabilizerType.X, boundary_clique_cache_limit=2
+        )
+        for num in range(2, 9):
+            decoder.fallback._boundary_clique_edges(num)
+        assert len(decoder.fallback._boundary_clique_cache) == 2
+
+    def test_non_escalating_mid_tier_is_rejected(self, code_d5):
+        # MWPM has no escalation path, so it can only sit last.
+        with pytest.raises(ConfigurationError, match="escalate"):
+            DecoderCascade(code_d5, StabilizerType.X, tiers=("clique", "mwpm", "union_find"))
+
+    def test_instance_tiers_are_accepted(self, code_d5):
+        mid = ClusteringDecoder(code_d5, StabilizerType.X, escalation_cluster_size=1)
+        final = MWPMDecoder(code_d5, StabilizerType.X)
+        cascade = DecoderCascade(code_d5, StabilizerType.X, tiers=("clique", mid, final))
+        assert cascade.offchip_tiers == (mid, final)
+        assert cascade.tier_names[0] == "clique"
+
+    def test_clique_instance_front_tier(self, code_d5):
+        front = CliqueDecoder(code_d5, StabilizerType.X)
+        cascade = DecoderCascade(code_d5, StabilizerType.X, tiers=(front, "mwpm"))
+        assert cascade.clique is front
+
+    def test_bad_front_tier_is_rejected(self, code_d5):
+        with pytest.raises(ConfigurationError, match="first cascade tier"):
+            DecoderCascade(code_d5, StabilizerType.X, tiers=("mwpm", "union_find"))
+
+    def test_hierarchical_result_is_cascade_result(self):
+        assert HierarchicalResult is CascadeResult
+
+
+class TestEscalationMask:
+    def test_small_clusters_resolve_large_escalate(self, code_d5):
+        decoder = ClusteringDecoder(
+            code_d5, StabilizerType.X, escalation_cluster_size=2
+        )
+        # One isolated event: a single boundary-matched cluster, resolved here.
+        bitmap, escalated = decoder.decode_events_tiered(
+            np.array([0]), np.array([0])
+        )
+        assert not escalated
+        assert bitmap is not None
+        # A tight same-ancilla triple grows into one 3-event cluster.
+        bitmap, escalated = decoder.decode_events_tiered(
+            np.array([0, 1, 2]), np.array([0, 0, 0])
+        )
+        assert escalated
+        assert bitmap is None
+
+    def test_empty_event_list_never_escalates(self, code_d5):
+        decoder = ClusteringDecoder(
+            code_d5, StabilizerType.X, escalation_cluster_size=1
+        )
+        bitmap, escalated = decoder.decode_events_tiered(np.array([]), np.array([]))
+        assert not escalated
+        assert not bitmap.any()
+
+    def test_disabled_policy_resolves_everything(self, code_d5):
+        decoder = ClusteringDecoder(code_d5, StabilizerType.X)
+        bitmap, escalated = decoder.decode_events_tiered(
+            np.array([0, 1, 2, 3]), np.array([0, 0, 0, 0])
+        )
+        assert not escalated
+        assert np.array_equal(
+            bitmap,
+            decoder.decode_events_bitmap(np.array([0, 1, 2, 3]), np.array([0, 0, 0, 0])),
+        )
+
+    def test_invalid_threshold_is_rejected(self, code_d5):
+        with pytest.raises(ConfigurationError):
+            ClusteringDecoder(code_d5, StabilizerType.X, escalation_cluster_size=0)
+
+
+class TestBatchedCascadeBitIdentity:
+    """The batched cascade path must stay bit-identical to the per-trial
+    decode_history reference — including which tier resolves each trial."""
+
+    @pytest.mark.parametrize("distance", [5, 7])
+    def test_three_tier_decode_batch_matches_decode_history(self, distance):
+        code = get_code(distance)
+        cascade = DecoderCascade(code, StabilizerType.X, tiers=THREE_TIER)
+        width = _width(code)
+        data_index = code.data_index
+        rng = np.random.default_rng(37)
+        # Densities straddle the triage point so plenty of trials exercise
+        # every tier boundary.
+        for density in (0.05, 0.18):
+            batch = (rng.random((40, distance + 1, width)) < density).astype(np.uint8)
+            result = cascade.decode_batch(batch)
+            tier_tally = np.zeros(cascade.num_tiers, dtype=np.int64)
+            for trial in range(batch.shape[0]):
+                reference = cascade.decode_history(batch[trial])
+                bitmap = np.zeros(code.num_data_qubits, dtype=np.uint8)
+                for qubit in reference.correction:
+                    bitmap[data_index[qubit]] ^= 1
+                assert np.array_equal(result.corrections[trial], bitmap)
+                assert result.onchip_rounds[trial] == (
+                    reference.num_rounds - reference.num_offchip_rounds
+                )
+                tier_tally[reference.handled_tier] += 1
+            assert np.array_equal(result.tier_trials, tier_tally)
+            assert int(result.tier_trials.sum()) == batch.shape[0]
+
+    def test_two_tier_cascade_matches_hierarchical_alias(self, code_d5):
+        cascade = DecoderCascade(code_d5, StabilizerType.X, tiers=("clique", "mwpm"))
+        alias = HierarchicalDecoder(code_d5, StabilizerType.X)
+        rng = np.random.default_rng(41)
+        batch = (rng.random((30, 6, _width(code_d5))) < 0.15).astype(np.uint8)
+        a = cascade.decode_batch(batch)
+        b = alias.decode_batch(batch)
+        assert np.array_equal(a.corrections, b.corrections)
+        assert np.array_equal(a.onchip_rounds, b.onchip_rounds)
+        assert np.array_equal(a.tier_trials, b.tier_trials)
+        assert np.array_equal(a.tier_rounds, b.tier_rounds)
+
+    def test_tier_rounds_accounting(self, code_d5):
+        cascade = DecoderCascade(code_d5, StabilizerType.X, tiers=THREE_TIER)
+        rng = np.random.default_rng(43)
+        batch = (rng.random((40, 6, _width(code_d5))) < 0.15).astype(np.uint8)
+        result = cascade.decode_batch(batch)
+        total_rounds = int(result.total_rounds.sum())
+        onchip_rounds = int(result.onchip_rounds.sum())
+        assert result.tier_rounds[0] == onchip_rounds
+        assert result.tier_rounds[1] == total_rounds - onchip_rounds
+        # Bandwidth can only shrink down the cascade.
+        assert result.tier_rounds[2] <= result.tier_rounds[1]
+
+
+#: Frozen seeded outputs captured from the pre-refactor two-tier
+#: ``HierarchicalDecoder`` implementation (commit 645e6b2) — trials=300,
+#: p=2e-2, seed=1234, rounds=distance; sharded at workers=1 with the default
+#: chunk.  The cascade refactor must reproduce every number bit for bit.
+PRE_REFACTOR_SEEDED = {
+    # (fallback, distance, engine): (logical_failures, onchip_rounds, total_rounds)
+    ("mwpm", 3, "loop"): (13, 1199, 1200),
+    ("mwpm", 3, "batch"): (13, 1199, 1200),
+    ("mwpm", 3, "sharded"): (12, 1199, 1200),
+    ("mwpm", 5, "loop"): (10, 1668, 1800),
+    ("mwpm", 5, "batch"): (10, 1668, 1800),
+    ("mwpm", 5, "sharded"): (22, 1649, 1800),
+    ("union_find", 3, "loop"): (13, 1199, 1200),
+    ("union_find", 3, "batch"): (13, 1199, 1200),
+    ("union_find", 3, "sharded"): (12, 1199, 1200),
+    ("union_find", 5, "loop"): (15, 1668, 1800),
+    ("union_find", 5, "batch"): (15, 1668, 1800),
+    ("union_find", 5, "sharded"): (23, 1649, 1800),
+}
+
+
+class TestPreRefactorEquivalence:
+    """``DecoderCascade(("clique", f))`` and the ``HierarchicalDecoder``
+    alias must both be bit-identical to the pre-refactor hierarchy under
+    fixed seeds on the loop, batch, and sharded engines."""
+
+    @pytest.mark.parametrize("fallback", ["mwpm", "union_find"])
+    @pytest.mark.parametrize("engine", ["loop", "batch", "sharded"])
+    def test_two_tier_cascade_reproduces_frozen_outputs(self, fallback, engine):
+        distance = 5
+        expected = PRE_REFACTOR_SEEDED[(fallback, distance, engine)]
+        result = run_memory_experiment(
+            get_code(distance),
+            PhenomenologicalNoise(2e-2),
+            _CascadeFactory(("clique", fallback)),
+            trials=300,
+            rng=1234,
+            engine=engine,
+            workers=1 if engine == "sharded" else None,
+        )
+        assert (
+            result.logical_failures,
+            result.onchip_rounds,
+            result.total_rounds,
+        ) == expected
+
+    @pytest.mark.parametrize("fallback", ["mwpm", "union_find"])
+    @pytest.mark.parametrize("engine", ["loop", "batch", "sharded"])
+    def test_hierarchical_alias_reproduces_frozen_outputs(self, fallback, engine):
+        distance = 3
+        expected = PRE_REFACTOR_SEEDED[(fallback, distance, engine)]
+        result = run_memory_experiment(
+            get_code(distance),
+            PhenomenologicalNoise(2e-2),
+            _HierarchicalFactory(fallback),
+            trials=300,
+            rng=1234,
+            engine=engine,
+            workers=1 if engine == "sharded" else None,
+        )
+        assert (
+            result.logical_failures,
+            result.onchip_rounds,
+            result.total_rounds,
+        ) == expected
+
+
+class TestCascadeAcrossEngines:
+    """Three-tier cascades ride every engine with consistent tier stats."""
+
+    def test_loop_and_batch_agree_including_tier_stats(self, code_d5):
+        kwargs = dict(trials=200, rng=7)
+        loop = run_memory_experiment(
+            code_d5,
+            PhenomenologicalNoise(2e-2),
+            _CascadeFactory(THREE_TIER),
+            engine="loop",
+            **kwargs,
+        )
+        batch = run_memory_experiment(
+            code_d5,
+            PhenomenologicalNoise(2e-2),
+            _CascadeFactory(THREE_TIER),
+            engine="batch",
+            **kwargs,
+        )
+        assert loop == batch
+        assert loop.tier_names == THREE_TIER
+        assert sum(loop.tier_trials) == loop.trials
+        assert loop.tier_rounds[0] == loop.onchip_rounds
+
+    def test_sharded_worker_count_never_changes_tier_stats(self, code_d5):
+        kwargs = dict(trials=400, rng=11, engine="sharded")
+        one = run_memory_experiment(
+            code_d5, PhenomenologicalNoise(2e-2), _CascadeFactory(THREE_TIER),
+            workers=1, **kwargs,
+        )
+        four = run_memory_experiment(
+            code_d5, PhenomenologicalNoise(2e-2), _CascadeFactory(THREE_TIER),
+            workers=4, **kwargs,
+        )
+        assert one == four
+        assert sum(one.tier_trials) == one.trials
+
+    def test_escalation_rates_decrease_down_the_cascade(self, code_d5):
+        result = run_memory_experiment(
+            code_d5,
+            PhenomenologicalNoise(2e-2),
+            _CascadeFactory(THREE_TIER),
+            trials=300,
+            rng=13,
+        )
+        rates = result.escalation_rates
+        assert len(rates) == 2
+        assert 0.0 <= rates[1] <= rates[0] <= 1.0
+        assert result.tier_rounds_per_trial(2) <= result.tier_rounds_per_trial(1)
+
+
+class TestCascadeResultStoreRoundTrip:
+    def test_tier_fields_survive_serialization(self, code_d5):
+        from repro.store.serialization import from_dict, to_dict
+
+        result = run_memory_experiment(
+            code_d5,
+            PhenomenologicalNoise(2e-2),
+            _CascadeFactory(THREE_TIER),
+            trials=100,
+            rng=3,
+        )
+        assert result.tier_names == THREE_TIER
+        restored = from_dict(to_dict(result))
+        assert restored == result
+        assert restored.tier_trials == result.tier_trials
+        assert isinstance(restored.tier_trials, tuple)

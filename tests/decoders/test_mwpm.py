@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.decoders.lookup import LookupDecoder
-from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.mwpm import DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT, MWPMDecoder
 from repro.exceptions import SyndromeShapeError
 from repro.noise.events import errors_to_vector, vector_to_errors
 from repro.types import Coord, StabilizerType
@@ -170,18 +170,18 @@ class TestSmallCaseSolver:
 class TestBoundaryCliqueCache:
     def test_cache_is_bounded(self, code_d3):
         decoder = MWPMDecoder(code_d3, StabilizerType.X)
-        for num in range(2, 2 + 3 * MWPMDecoder._BOUNDARY_CLIQUE_CACHE_LIMIT):
+        for num in range(2, 2 + 3 * DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT):
             edges = decoder._boundary_clique_edges(num)
             assert len(edges) == num * (num - 1) // 2
         assert (
             len(decoder._boundary_clique_cache)
-            <= MWPMDecoder._BOUNDARY_CLIQUE_CACHE_LIMIT
+            <= DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT
         )
 
     def test_uncached_counts_still_build_correct_edges(self, code_d3):
         decoder = MWPMDecoder(code_d3, StabilizerType.X)
         # Fill the cache, then request a count that will not be retained.
-        for num in range(2, 2 + MWPMDecoder._BOUNDARY_CLIQUE_CACHE_LIMIT):
+        for num in range(2, 2 + DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT):
             decoder._boundary_clique_edges(num)
         overflow = 100
         edges = decoder._boundary_clique_edges(overflow)
@@ -189,6 +189,26 @@ class TestBoundaryCliqueCache:
         assert len(edges) == overflow * (overflow - 1) // 2
         # Boundary copies occupy the node range [num, 2 * num).
         assert all(overflow <= a < 2 * overflow for a, b, w in edges)
+
+    def test_cache_limit_is_configurable(self, code_d3):
+        decoder = MWPMDecoder(code_d3, StabilizerType.X, boundary_clique_cache_limit=3)
+        for num in range(2, 12):
+            decoder._boundary_clique_edges(num)
+        assert len(decoder._boundary_clique_cache) == 3
+
+    def test_cache_limit_rejects_negative(self, code_d3):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MWPMDecoder(code_d3, StabilizerType.X, boundary_clique_cache_limit=-1)
+
+    def test_cache_can_be_shared_between_instances(self, code_d3):
+        shared = {}
+        first = MWPMDecoder(code_d3, StabilizerType.X, boundary_clique_cache=shared)
+        second = MWPMDecoder(code_d3, StabilizerType.X, boundary_clique_cache=shared)
+        edges = first._boundary_clique_edges(4)
+        assert second._boundary_clique_edges(4) is edges
+        assert set(shared) == {4}
 
 
 class TestLogicalPerformance:

@@ -48,3 +48,30 @@ def test_paper_budgets_cover_every_paper_distance():
     # More statistics at small distances, where trials are cheap.
     budgets = [fig14.PAPER_TRIAL_BUDGETS[d] for d in fig14.PAPER_DISTANCES]
     assert budgets == sorted(budgets, reverse=True)
+
+
+def test_three_tier_cascade_row_at_paper_depth():
+    # The Section 8.1 payoff regime: at d >= 9 the three-tier cascade must
+    # run end-to-end with per-tier stats, and the union-find middle tier must
+    # absorb part of the off-chip stream so the exact matcher sees strictly
+    # less bandwidth than the two-tier hierarchy ships it.
+    result = fig14.compare_fallbacks(
+        trials=400,
+        distances=(9,),
+        error_rate=1e-2,
+        tiers="clique,union_find,mwpm",
+        engine="sharded",
+        seed=2026,
+    )
+    by_tiers = {row["tiers"]: row for row in result.rows}
+    assert set(by_tiers) == {"clique,mwpm", "clique,union_find,mwpm"}
+    two = by_tiers["clique,mwpm"]
+    three = by_tiers["clique,union_find,mwpm"]
+    # Same seed => identical error histories => identical tier-0 triage.
+    assert three["onchip_round_fraction"] == two["onchip_round_fraction"]
+    assert three["offchip_rounds_per_trial"] == two["offchip_rounds_per_trial"]
+    # The middle tier resolved a real share of the off-chip trials.
+    assert three["final_tier_rounds_per_trial"] < three["offchip_rounds_per_trial"]
+    assert three["escalation_rates"].count("/") == 1
+    for row in result.rows:
+        assert 0.0 <= row["logical_error_rate"] <= 1.0

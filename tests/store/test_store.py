@@ -186,3 +186,64 @@ class TestStoreFileFormat:
         entry = json.loads(lines[0])
         assert entry["key"] == key
         assert entry["record"]["__type__"] == "CoverageResult"
+
+
+class TestCompact:
+    def test_last_write_wins_records_survive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key_a = result_key("fig11", {"cycles": 100}, 7)
+        key_b = result_key("fig11", {"cycles": 200}, 7)
+        store.put(key_a, _coverage(onchip=10))
+        store.put(key_b, _coverage(onchip=20))
+        store.put(key_a, _coverage(onchip=30))  # overwrite: the line to keep
+        summary = store.compact()
+        assert summary == {
+            "records_kept": 2,
+            "lines_dropped": 1,
+            "checkpoints_dropped": 0,
+        }
+        lines = (tmp_path / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert store.get(key_a).onchip_cycles == 30
+        assert store.get(key_b).onchip_cycles == 20
+
+    def test_fresh_store_reads_the_compacted_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("fig11", {"cycles": 100}, 7)
+        for onchip in (10, 20, 30):
+            store.put(key, _coverage(onchip=onchip))
+        store.compact()
+        reread = ResultStore(tmp_path)
+        assert reread.get(key).onchip_cycles == 30
+        assert len(reread) == 1
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("fig11", {"cycles": 100}, 7)
+        store.put(key, _coverage())
+        with (tmp_path / "results.jsonl").open("a") as handle:
+            handle.write('{"key": "torn-li')  # kill mid-append
+        summary = ResultStore(tmp_path).compact()
+        assert summary["records_kept"] == 1
+        assert summary["lines_dropped"] == 1
+        assert ResultStore(tmp_path).get(key) is not None
+
+    def test_orphaned_checkpoints_are_dropped_live_ones_kept(self, tmp_path):
+        store = ResultStore(tmp_path)
+        done_key = result_key("fig14", {"trials": 100}, 7)
+        live_key = result_key("fig14", {"trials": 200}, 7)
+        store.put(done_key, _coverage())
+        store.checkpoint(done_key).save({"wave": 3})  # orphan: result is durable
+        store.checkpoint(live_key).save({"wave": 1})  # live mid-point state
+        summary = store.compact()
+        assert summary["checkpoints_dropped"] == 1
+        assert store.checkpoint(done_key).load() is None
+        assert store.checkpoint(live_key).load() == {"wave": 1}
+
+    def test_empty_store_compacts_cleanly(self, tmp_path):
+        summary = ResultStore(tmp_path / "fresh").compact()
+        assert summary == {
+            "records_kept": 0,
+            "lines_dropped": 0,
+            "checkpoints_dropped": 0,
+        }

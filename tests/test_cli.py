@@ -226,3 +226,109 @@ class TestStoreCli:
         # normal parameter error instead of crashing.
         assert main(["run", "table1", "--store", str(tmp_path)]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestCascadeTiersCli:
+    FIG14_ARGS = [
+        "fig14_fallbacks",
+        "--param",
+        "trials=60",
+        "--param",
+        "distances=5,",
+    ]
+
+    def test_tiers_spec_runs_three_tier_cascade(self, capsys):
+        assert main(self.FIG14_ARGS + ["--tiers", "clique,union_find,mwpm"]) == 0
+        out = capsys.readouterr().out
+        assert "clique,union_find,mwpm" in out
+        assert "escalation_rates" in out
+        assert "offchip_rounds_per_trial" in out
+
+    def test_tiers_spec_reaches_fig14_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "fig14",
+                    "--tiers",
+                    "clique,union_find,mwpm",
+                    "--param",
+                    "trials=40",
+                    "--param",
+                    "distances=3,",
+                    "--param",
+                    "error_rates=2e-2,",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Clique+UF+MWPM" in out
+        assert "tiers=clique,union_find,mwpm" in out
+
+    def test_unknown_tier_name_lists_valid_decoders(self, capsys):
+        # The satellite fix: a typo'd tier must produce the registry's clean
+        # error naming the valid decoders, not a KeyError traceback.
+        assert main(self.FIG14_ARGS + ["--tiers", "clique,blossom"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "mwpm" in err and "union_find" in err
+        assert "Traceback" not in err
+
+    def test_unknown_fallback_name_lists_valid_decoders(self, capsys):
+        assert main(self.FIG14_ARGS + ["--fallback", "blossom"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "mwpm" in err and "union_find" in err
+
+    def test_unknown_fallback_via_param_lists_valid_decoders(self, capsys):
+        assert main(self.FIG14_ARGS + ["--param", "fallback=blossom"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "mwpm" in err and "union_find" in err
+
+    def test_tiers_and_fallback_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.FIG14_ARGS + ["--tiers", "clique,mwpm", "--fallback", "mwpm"])
+        assert excinfo.value.code not in (0, None)
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestStoreCompactCli:
+    FIG11_ARGS = [
+        "fig11",
+        "--param",
+        "cycles=400",
+        "--param",
+        "distances=3,",
+        "--param",
+        "error_rates=1e-2,",
+    ]
+
+    def test_compact_reports_summary_and_preserves_results(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(self.FIG11_ARGS + ["--store", store_dir]) == 0
+        cold = capsys.readouterr().out
+        # A --force re-run appends duplicate lines for every point.
+        assert main(self.FIG11_ARGS + ["--store", store_dir, "--force"]) == 0
+        capsys.readouterr()
+        assert main(["store", "compact", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1 records" in out
+        assert "dropped 1 stale lines" in out
+        # The compacted store still serves the sweep byte-identically.
+        assert main(self.FIG11_ARGS + ["--store", store_dir]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_compact_on_fresh_directory(self, tmp_path, capsys):
+        assert main(["store", "compact", str(tmp_path / "empty")]) == 0
+        assert "kept 0 records" in capsys.readouterr().out
+
+    def test_compact_on_file_path_fails_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        assert main(["store", "compact", str(blocker)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_store_without_subcommand_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["store"])
