@@ -42,6 +42,7 @@ from repro.decoders import (
     MWPMDecoder,
 )
 from repro.exceptions import ReproError
+from repro.faults import FaultInjector, FaultPolicy, FaultReport, parse_fault_plan
 from repro.hardware import clique_overheads, compare_with_nisqplus
 from repro.noise import CodeCapacityNoise, PhenomenologicalNoise
 from repro.simulation import (
@@ -92,6 +93,11 @@ __all__ = [
     "run_sharded",
     "run_sharded_adaptive",
     "until_wilson",
+    # fault tolerance
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultReport",
+    "parse_fault_plan",
     # errors
     "ReproError",
 ]

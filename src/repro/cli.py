@@ -15,6 +15,7 @@ Examples:
     repro-qec fig14_fallbacks --tiers clique,union_find,mwpm --param distances=9,
     repro-qec fig14 --scale paper --store results/   # resume on re-run
     repro-qec fig14 --scale paper --store results/ --force
+    repro-qec fig14 --scale paper --max-retries 4 --shard-timeout 300
     repro-qec store compact results/                 # GC a long-lived store
 
 ``--engine`` selects the Monte-Carlo engine for memory experiments (fig14):
@@ -36,7 +37,10 @@ tier's disagreement set — see README.md → "Decoder cascades").  ``--store
 DIR`` persists every sweep point of the fig11/fig12/fig14/fig16 sweeps as it
 completes and makes re-runs resume (``--resume``, the default) or recompute
 (``--force``); ``store compact DIR`` garbage-collects a long-lived store
-directory; see README.md → "Results and resume".
+directory; see README.md → "Results and resume".  ``--max-retries`` /
+``--shard-timeout`` tune the sharded engine's fault tolerance (retried
+shards replay their RNG streams bit-identically, so neither flag ever
+changes results); see README.md → "Fault tolerance".
 """
 
 from __future__ import annotations
@@ -183,6 +187,30 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fault tolerance for sharded runs (fig14 with --engine sharded / "
+            "--scale paper / --adaptive): failed or timed-out shard attempts "
+            "re-dispatched per shard before the run gives up (default 2; "
+            "retried shards replay their RNG streams bit-identically, so "
+            "results never depend on the value)"
+        ),
+    )
+    run_parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help=(
+            "wall-clock budget per shard attempt for sharded runs: a hung "
+            "worker pool is killed, respawned, and the shard re-dispatched "
+            "(charged one retry; see --max-retries)"
+        ),
+    )
+    run_parser.add_argument(
         "--fallback",
         default=None,
         metavar="NAME",
@@ -282,9 +310,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             except (ReproError, OSError) as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 1
+            quarantined = (
+                f" ({summary['lines_quarantined']} of them corrupt/quarantined)"
+                if summary["lines_quarantined"]
+                else ""
+            )
             print(
                 f"compacted {args.dir}: kept {summary['records_kept']} records, "
-                f"dropped {summary['lines_dropped']} stale lines and "
+                f"dropped {summary['lines_dropped']} stale lines{quarantined} and "
                 f"{summary['checkpoints_dropped']} orphaned checkpoints"
             )
             return 0
@@ -296,7 +329,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.tiers is not None and args.fallback is not None:
             parser.error("--tiers and --fallback are mutually exclusive")
         params = dict(args.param)
-        for flag in ("engine", "workers", "fallback", "tiers", "scale", "chunk_cycles", "target_ci_width"):
+        for flag in (
+            "engine",
+            "workers",
+            "fallback",
+            "tiers",
+            "scale",
+            "chunk_cycles",
+            "target_ci_width",
+            "max_retries",
+            "shard_timeout",
+        ):
             value = getattr(args, flag)
             if value is not None:
                 params[flag] = value

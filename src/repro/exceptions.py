@@ -59,6 +59,59 @@ class SynthesisError(ReproError):
     """Hardware synthesis of the Clique decoder netlist failed."""
 
 
+class FaultToleranceError(ReproError):
+    """The fault-tolerance layer could not recover a sharded run."""
+
+
+class ShardRetriesExhaustedError(FaultToleranceError):
+    """One shard kept failing past its :class:`~repro.faults.FaultPolicy` budget."""
+
+    def __init__(self, shard_index: int, attempts: int, last_error: object) -> None:
+        super().__init__(
+            f"shard {shard_index} failed {attempts} attempt(s) and exhausted its "
+            f"retry budget (last error: {last_error})"
+        )
+        self.shard_index = shard_index
+        self.attempts = attempts
+
+
+class ShardTimeoutError(FaultToleranceError):
+    """A shard attempt exceeded the policy's ``shard_timeout``.
+
+    On the pooled path the parent raises (or retries) this after killing the
+    hung worker pool; on the in-process path — where a genuinely hung shard
+    cannot be preempted — it is raised by the injection harness to *simulate*
+    a timeout for injected hangs longer than the policy timeout.
+    """
+
+    def __init__(self, shard_index: int, timeout: float) -> None:
+        super().__init__(
+            f"shard {shard_index} exceeded the {timeout:g}s shard_timeout"
+        )
+        self.shard_index = shard_index
+        self.timeout = timeout
+
+
+class StoreCorruptionError(ReproError):
+    """``results.jsonl`` contained a corrupt non-tail line (strict mode).
+
+    Carries the zero-based line number and byte offset of the first corrupt
+    line so the damage can be inspected (or excised) by hand.
+    """
+
+    def __init__(
+        self, path: object, line_number: int, byte_offset: int, reason: str
+    ) -> None:
+        super().__init__(
+            f"corrupt result-store line {line_number} at byte {byte_offset} "
+            f"of {path}: {reason}"
+        )
+        self.path = path
+        self.line_number = line_number
+        self.byte_offset = byte_offset
+        self.reason = reason
+
+
 class ExperimentNotFoundError(ReproError):
     """An experiment id was requested that is not present in the registry."""
 

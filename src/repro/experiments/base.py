@@ -73,6 +73,32 @@ class ExperimentResult:
         return "\n".join(parts) + "\n"
 
 
+def resolve_fault_policy(
+    max_retries: int | None = None, shard_timeout: float | None = None
+):
+    """Resolve runner/CLI fault knobs into a :class:`~repro.faults.FaultPolicy`.
+
+    Returns ``None`` when neither knob is set, so runners forward "no
+    preference" and the sharded engine keeps its default policy (2 retries,
+    no timeout).  Unset knobs fall back to the policy defaults; validation
+    lives in :class:`~repro.faults.FaultPolicy` itself.
+
+    The policy never participates in store keys: recovery replays shard
+    streams bit-identically, so like ``workers`` it is execution provenance,
+    not part of a result's identity.
+    """
+    if max_retries is None and shard_timeout is None:
+        return None
+    from repro.faults import FaultPolicy
+
+    kwargs: dict[str, object] = {}
+    if max_retries is not None:
+        kwargs["max_retries"] = max_retries
+    if shard_timeout is not None:
+        kwargs["shard_timeout"] = shard_timeout
+    return FaultPolicy(**kwargs)
+
+
 def sweep_cache(
     store: "ResultStore | str | Path | None",
     experiment_id: str,
@@ -94,4 +120,4 @@ def sweep_cache(
     return SweepCache(open_store(store), experiment_id, force=force)
 
 
-__all__ = ["ExperimentResult", "sweep_cache"]
+__all__ = ["ExperimentResult", "resolve_fault_policy", "sweep_cache"]

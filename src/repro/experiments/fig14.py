@@ -32,7 +32,7 @@ from repro.codes.rotated_surface import RotatedSurfaceCode, get_code
 from repro.decoders.mwpm import MWPMDecoder
 from repro.decoders.registry import resolve_tier_spec
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import ExperimentResult, sweep_cache
+from repro.experiments.base import ExperimentResult, resolve_fault_policy, sweep_cache
 from repro.noise.models import PhenomenologicalNoise
 from repro.noise.rng import point_seed
 from repro.simulation.memory import run_memory_experiment
@@ -132,6 +132,7 @@ def _memory_point_config(
     decoder: str,
     tiers: tuple[str, ...] | None,
     stop: WilsonStoppingRule | None,
+    chunk_trials: int | None = None,
 ) -> dict[str, object]:
     """The fully resolved, stream-determining config of one fig14 point.
 
@@ -154,7 +155,11 @@ def _memory_point_config(
         "rounds": rounds if rounds is not None else distance,
         "trials": trials,
         "engine": engine,
-        "chunk_trials": DEFAULT_SHARD_TRIALS if engine == "sharded" else None,
+        "chunk_trials": (
+            (chunk_trials if chunk_trials is not None else DEFAULT_SHARD_TRIALS)
+            if engine == "sharded"
+            else None
+        ),
         "decoder": decoder,
         "fallback": tiers[1] if tiers is not None and len(tiers) == 2 else None,
         "stype": StabilizerType.X.value,
@@ -183,11 +188,14 @@ def run(
     fallback: str | None = None,
     tiers: str | tuple[str, ...] | None = None,
     workers: int | None = None,
+    chunk_trials: int | None = None,
     adaptive: bool = False,
     target_ci_width: float | None = None,
     min_trials: int = 200,
     store: object | None = None,
     force: bool = False,
+    max_retries: int | None = None,
+    shard_timeout: float | None = None,
 ) -> ExperimentResult:
     """Reproduce the Fig. 14 comparison (baseline vs Clique + fallback).
 
@@ -213,6 +221,10 @@ def run(
         workers: worker processes for the sharded engine; rejected with any
             other engine (a silently ignored value would suggest the run was
             parallelised when it was not).
+        chunk_trials: trials per shard for the sharded engine (default
+            :data:`~repro.simulation.shard.DEFAULT_SHARD_TRIALS`); with the
+            seed it fully determines the sharded result, so it participates
+            in the store key with its resolved value.
         adaptive: stop each (point, decoder) run as soon as the Wilson
             interval on its logical error rate is at most ``target_ci_width``
             wide, instead of burning the full fixed budget.  The scale's
@@ -231,6 +243,13 @@ def run(
             runs additionally checkpoint per Wilson wave and resume
             mid-point.
         force: recompute and overwrite stored points.
+        max_retries: sharded-engine fault tolerance — failed shard attempts
+            re-dispatched per shard before giving up (default 2; retried
+            shards replay their RNG streams bit-identically, so the value
+            never affects results).  Rejected on non-sharded engines.
+        shard_timeout: wall-clock budget per shard attempt in seconds for
+            the sharded engine; a hung worker pool is killed and the shard
+            re-dispatched.  Rejected on non-sharded engines.
     """
     budget, distances, engine = _resolve_scale(scale, trials, distances, engine)
     if target_ci_width is not None:
@@ -241,6 +260,10 @@ def run(
         engine = "sharded"
     cascade_tiers = _resolve_cascade(tiers, fallback)
     hierarchy_name = _cascade_label(cascade_tiers)
+    # Deliberately absent from _memory_point_config: fault recovery replays
+    # shard streams bit-identically, so the policy (like workers) never
+    # affects the stored counts.
+    faults = resolve_fault_policy(max_retries, shard_timeout)
     cache = sweep_cache(store, "fig14", force)
     rows = []
     for distance_index, distance in enumerate(distances):
@@ -269,6 +292,7 @@ def run(
                     decoder_label,
                     decoder_tiers,
                     stop,
+                    chunk_trials,
                 )
                 return cache.point(
                     config,
@@ -283,6 +307,8 @@ def run(
                         decoder_name=decoder_label,
                         engine=engine,
                         workers=workers,
+                        chunk_trials=chunk_trials,
+                        faults=faults,
                         adaptive=stop,
                         checkpoint=(
                             cache.checkpoint(config, base_seed)

@@ -1,0 +1,47 @@
+"""Fault tolerance for sharded Monte-Carlo execution.
+
+Three cooperating pieces:
+
+* :class:`FaultPolicy` / :class:`FaultReport` — how hard to try (retries,
+  deterministic backoff, shard timeouts, pool respawns) and what actually
+  happened;
+* :class:`ShardExecutor` — the dispatch engine under ``run_sharded`` /
+  ``run_sharded_adaptive`` implementing the recovery ladder;
+* :class:`FaultInjector` + the ``REPRO_FAULT_PLAN`` grammar — a deterministic
+  chaos harness for proving that a faulted run's output is byte-identical to
+  a fault-free one.
+"""
+
+from repro.faults.executor import (
+    SKIPPED,
+    DegradedExecutionWarning,
+    ShardExecutor,
+)
+from repro.faults.injector import (
+    FAULT_PLAN_ENV,
+    FaultInjector,
+    FaultPlan,
+    InjectedFaultError,
+    InjectedWorkerCrash,
+    InjectedWorkerError,
+    ShardFault,
+    parse_fault_plan,
+)
+from repro.faults.policy import FaultPolicy, FaultReport, SkippedShard
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "SKIPPED",
+    "DegradedExecutionWarning",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPolicy",
+    "FaultReport",
+    "InjectedFaultError",
+    "InjectedWorkerCrash",
+    "InjectedWorkerError",
+    "ShardExecutor",
+    "ShardFault",
+    "SkippedShard",
+    "parse_fault_plan",
+]

@@ -1,0 +1,426 @@
+"""Fault-tolerant shard dispatch: retries, timeouts, pool recovery, degrade.
+
+:class:`ShardExecutor` is the execution engine under
+:func:`repro.simulation.shard.run_sharded` and
+:func:`~repro.simulation.shard.run_sharded_adaptive`.  It owns the
+``ProcessPoolExecutor`` lifecycle and dispatches shard tasks — ``(kernel,
+shard_trials, seed, shard_index)`` tuples under PR 2's seeding contract —
+with the recovery ladder of :class:`~repro.faults.FaultPolicy`:
+
+* a **worker exception** re-dispatches the same shard (same ``(seed,
+  shard_index)`` ⇒ the retry is bit-identical) after a deterministic
+  jittered backoff, up to ``max_retries`` times;
+* a **shard timeout** kills the pool (a hung worker cannot be preempted
+  alone), re-dispatches the timed-out shard charged one retry, and re-submits
+  the innocent in-flight shards uncharged;
+* a **broken pool** (a worker died and took the executor with it) respawns
+  the pool and re-submits every in-flight shard, up to ``max_pool_respawns``
+  incidents — after which the executor stops trusting pools and degrades to
+  the sequential in-process path with a :class:`DegradedExecutionWarning`;
+* a pool that cannot even be **constructed** (no POSIX semaphores, no
+  forking) degrades the same way immediately, warning and flagging
+  ``engine_degraded`` in the :class:`~repro.faults.FaultReport` instead of
+  silently swallowing the environment problem.
+
+At most ``workers`` shards are in flight at once, so a shard's timeout clock
+only ever runs while a worker is actually executing it (a shard queued behind
+a full pool is not "hung").  Results come back in task order; shards dropped
+by ``on_exhausted="skip"`` yield the :data:`SKIPPED` sentinel and their
+provenance is recorded on the report.
+
+A passive policy (``max_retries=0``, no timeout) with no fault injector takes
+a zero-bookkeeping ``pool.map`` fast path — the exact pre-fault-tolerance
+dispatch, kept both as the overhead baseline and for callers that want the
+old fail-fast semantics.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import (
+    ConfigurationError,
+    ShardRetriesExhaustedError,
+    ShardTimeoutError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import FaultPolicy, FaultReport, SkippedShard
+from repro.noise.rng import shard_rng
+
+
+class DegradedExecutionWarning(RuntimeWarning):
+    """The sharded engine fell back to sequential in-process execution."""
+
+
+class _Skipped:
+    """Sentinel type for shards dropped by ``on_exhausted="skip"``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "<shard skipped>"
+
+
+#: Placeholder returned (in task order) for shards dropped from the merge.
+SKIPPED = _Skipped()
+
+#: Floor on the executor's wait quantum so deadline checks stay cheap.
+_MIN_WAIT = 0.02
+
+
+def _execute_shard(
+    kernel: Any,
+    shard_trials: int,
+    seed: int,
+    shard_index: int,
+    attempt: int,
+    injector: FaultInjector | None,
+    in_process: bool,
+    timeout: float | None,
+) -> Any:
+    """One shard attempt under the seeding contract (top-level so it pickles).
+
+    The injector fires *before* the kernel constructs its generator, so an
+    injected failure never half-consumes a shard's RNG stream — the retried
+    attempt replays it bit-identically from the start.
+    """
+    if injector is not None:
+        injector.fire_shard_fault(
+            shard_index, attempt, in_process=in_process, timeout=timeout
+        )
+    return kernel(shard_trials, shard_rng(seed, shard_index))
+
+
+def _execute_shard_args(args: tuple) -> Any:
+    """``pool.map`` adapter for the passive fast path (top-level so it pickles)."""
+    return _execute_shard(*args)
+
+
+@dataclass
+class _TaskState:
+    """Mutable per-shard dispatch bookkeeping (parent process only)."""
+
+    index: int
+    attempt: int = 0  # total dispatches — the injector's attempt key
+    retries: int = 0  # failures charged against policy.max_retries
+    not_before: float = 0.0  # monotonic backoff gate for the next dispatch
+
+
+@dataclass
+class ShardExecutor:
+    """Run shard tasks under a :class:`~repro.faults.FaultPolicy`.
+
+    Use as a context manager; one executor may serve several :meth:`run`
+    calls (e.g. the waves of an adaptive run) and keeps its pool warm across
+    them.  ``injector=None`` picks up the ambient ``REPRO_FAULT_PLAN``
+    injector (test mode); pass an explicit injector to scope a chaos plan to
+    one run.
+    """
+
+    workers: int
+    policy: FaultPolicy = field(default_factory=FaultPolicy)
+    injector: FaultInjector | None = None
+    report: FaultReport = field(default_factory=FaultReport)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be positive, got {self.workers}")
+        if self.injector is None:
+            self.injector = FaultInjector.from_env()
+        self._pool = None
+        self._pool_unavailable = False
+        self._sequential_only = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """Return a live pool, or ``None`` when execution must be in-process."""
+        if self._pool is not None:
+            return self._pool
+        if self.workers == 1 or self._pool_unavailable or self._sequential_only:
+            return None
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        except (ImportError, NotImplementedError, OSError, PermissionError) as error:
+            # Environments without working multiprocessing primitives raise
+            # while *constructing* the pool (its queues allocate semaphores
+            # eagerly).  Worker count never affects results, so the
+            # sequential path is safe — but the degradation is surfaced, not
+            # swallowed: a "parallel" run that silently went sequential is
+            # exactly the kind of lie a throughput study trips over.
+            self._pool_unavailable = True
+            self.report.engine_degraded = True
+            warnings.warn(
+                f"process pool unavailable ({error!r}); running shards "
+                "sequentially in-process (results are unaffected, wall-clock "
+                "scaling is)",
+                DegradedExecutionWarning,
+                stacklevel=3,
+            )
+            return None
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        """Tear down a pool whose workers may be hung or already dead."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # already dead / already reaped
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[tuple]) -> list[Any]:
+        """Execute ``tasks`` and return their outcomes in task order.
+
+        Each task is ``(kernel, shard_trials, seed, shard_index)``.  Entries
+        for shards dropped by ``on_exhausted="skip"`` are :data:`SKIPPED`.
+        """
+        if not tasks:
+            return []
+        if self.policy.is_passive and self.injector is None:
+            return self._run_passive(tasks)
+        states = [_TaskState(index=index) for index in range(len(tasks))]
+        results: list[Any] = [None] * len(tasks)
+        if self._ensure_pool() is None:
+            for state in states:
+                self._run_sequential(tasks[state.index], state, results)
+            return results
+        self._run_pooled(tasks, states, results)
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_passive(self, tasks: list[tuple]) -> list[Any]:
+        """The pre-fault-tolerance dispatch: no retries, fail-fast, ``pool.map``."""
+        args = [
+            (kernel, shard_trials, seed, shard_index, 0, None, True, None)
+            for kernel, shard_trials, seed, shard_index in tasks
+        ]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [_execute_shard(*arg) for arg in args]
+        return list(pool.map(_execute_shard_args, args))
+
+    # ------------------------------------------------------------------
+    def _run_sequential(
+        self, task: tuple, state: _TaskState, results: list[Any]
+    ) -> None:
+        kernel, shard_trials, seed, shard_index = task
+        while True:
+            try:
+                results[state.index] = _execute_shard(
+                    kernel,
+                    shard_trials,
+                    seed,
+                    shard_index,
+                    state.attempt,
+                    self.injector,
+                    True,
+                    self.policy.shard_timeout,
+                )
+                return
+            except ConfigurationError:
+                raise  # deterministic misconfiguration: retrying cannot help
+            except Exception as error:
+                state.attempt += 1
+                state.retries += 1
+                if isinstance(error, ShardTimeoutError):
+                    self.report.timeouts += 1
+                if state.retries > self.policy.max_retries:
+                    self._exhaust(task, state, error, results)
+                    return
+                self.report.retries += 1
+                delay = self.policy.backoff_delay(seed, shard_index, state.retries)
+                if delay:
+                    time.sleep(delay)
+
+    def _exhaust(
+        self, task: tuple, state: _TaskState, error: Exception, results: list[Any]
+    ) -> None:
+        """A shard ran out of retry budget: skip with provenance, or abort."""
+        _, shard_trials, _, shard_index = task
+        if self.policy.on_exhausted == "skip":
+            self.report.skipped_shards.append(
+                SkippedShard(
+                    shard_index=shard_index,
+                    trials=shard_trials,
+                    attempts=state.attempt,
+                    error=repr(error),
+                )
+            )
+            results[state.index] = SKIPPED
+            return
+        self._kill_pool()
+        raise ShardRetriesExhaustedError(shard_index, state.attempt, error) from error
+
+    # ------------------------------------------------------------------
+    def _run_pooled(
+        self, tasks: list[tuple], states: list[_TaskState], results: list[Any]
+    ) -> None:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        queue: deque[int] = deque(range(len(tasks)))
+        pending: dict = {}  # future -> (task index, deadline | None)
+
+        def submit(index: int) -> None:
+            kernel, shard_trials, seed, shard_index = tasks[index]
+            future = self._pool.submit(
+                _execute_shard,
+                kernel,
+                shard_trials,
+                seed,
+                shard_index,
+                states[index].attempt,
+                self.injector,
+                False,
+                None,
+            )
+            deadline = (
+                time.monotonic() + self.policy.shard_timeout
+                if self.policy.shard_timeout is not None
+                else None
+            )
+            pending[future] = (index, deadline)
+
+        def requeue(index: int, charge_retry: bool, error: Exception | None) -> bool:
+            """Schedule a re-dispatch; returns False if the shard is exhausted."""
+            state = states[index]
+            state.attempt += 1
+            if charge_retry:
+                state.retries += 1
+                if state.retries > self.policy.max_retries:
+                    self._exhaust(tasks[index], state, error, results)
+                    return results[index] is SKIPPED
+                self.report.retries += 1
+                _, _, seed, shard_index = tasks[index]
+                state.not_before = time.monotonic() + self.policy.backoff_delay(
+                    seed, shard_index, state.retries
+                )
+            queue.append(index)
+            return True
+
+        def drain_pending(charge_attempt: bool = True) -> None:
+            """Harvest finished futures, requeue the rest (pool is going down)."""
+            for future, (index, _) in list(pending.items()):
+                del pending[future]
+                if future.done() and not future.cancelled():
+                    try:
+                        results[index] = future.result()
+                        continue
+                    except Exception:
+                        # Broken-pool casualty (or a failure racing the
+                        # incident): re-dispatch uncharged — its own failure
+                        # will be charged when it recurs on the fresh pool.
+                        pass
+                if charge_attempt:
+                    states[index].attempt += 1
+                queue.append(index)
+
+        while queue or pending:
+            if self._sequential_only or self._ensure_pool() is None:
+                # Pool gone for good: finish everything in-process, keeping
+                # each shard's accumulated attempt/retry bookkeeping.
+                while queue:
+                    index = queue.popleft()
+                    self._run_sequential(tasks[index], states[index], results)
+                return
+            now = time.monotonic()
+            for index in [i for i in queue if states[i].not_before <= now]:
+                if len(pending) >= self.workers:
+                    break
+                queue.remove(index)
+                submit(index)
+
+            # How long may we block?  Until the nearest shard deadline or
+            # backoff gate, whichever comes first.
+            horizons = [d for _, d in pending.values() if d is not None]
+            horizons += [states[i].not_before for i in queue if states[i].not_before > now]
+            timeout = max(_MIN_WAIT, min(horizons) - now) if horizons else None
+            if not pending:
+                time.sleep(timeout if timeout is not None else _MIN_WAIT)
+                continue
+            done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+
+            pool_broken = False
+            for future in done:
+                index, _ = pending.pop(future)
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    states[index].attempt += 1
+                    queue.append(index)
+                except ConfigurationError:
+                    self._kill_pool()
+                    raise
+                except Exception as error:
+                    if not requeue(index, charge_retry=True, error=error):
+                        return  # exhausted with on_exhausted="raise" raises above
+
+            if pool_broken:
+                # A worker died hard (SIGKILL, segfault) and broke the pool.
+                self.report.pool_respawns += 1
+                drain_pending()
+                self._kill_pool()
+                if self.report.pool_respawns > self.policy.max_pool_respawns:
+                    self._sequential_only = True
+                    self.report.degraded_to_sequential = True
+                    warnings.warn(
+                        f"process pool broke {self.report.pool_respawns} times; "
+                        "degrading to sequential in-process execution for the "
+                        "remaining shards (results are unaffected)",
+                        DegradedExecutionWarning,
+                        stacklevel=2,
+                    )
+                continue
+
+            now = time.monotonic()
+            expired = [
+                (future, index)
+                for future, (index, deadline) in pending.items()
+                if deadline is not None and deadline <= now and not future.done()
+            ]
+            if expired:
+                # A hung worker cannot be preempted alone — the whole pool is
+                # killed and rebuilt.  The timed-out shards are charged one
+                # retry each; innocent in-flight shards re-dispatch uncharged.
+                for future, index in expired:
+                    del pending[future]
+                    self.report.timeouts += 1
+                    _, _, _, shard_index = tasks[index]
+                    if not requeue(
+                        index,
+                        charge_retry=True,
+                        error=ShardTimeoutError(shard_index, self.policy.shard_timeout),
+                    ):
+                        drain_pending()
+                        self._kill_pool()
+                        return
+                drain_pending()
+                self._kill_pool()
+
+
+__all__ = [
+    "SKIPPED",
+    "DegradedExecutionWarning",
+    "ShardExecutor",
+]

@@ -62,6 +62,16 @@ class MemoryExperimentResult:
       — rounds shipped *into* tier ``k`` (an escalated trial re-ships its
       whole off-chip window, so its rounds count toward every tier it
       visited) — the per-boundary bandwidth in rounds.
+
+    The fault-provenance fields record how the sharded engine had to degrade
+    to produce the estimate (see :mod:`repro.faults`): ``engine_degraded``
+    flags a run whose process pool could not be constructed and fell back to
+    sequential in-process execution (counts unaffected, wall-clock scaling
+    lost); ``skipped_shards`` / ``skipped_trials`` record shards dropped
+    under ``on_exhausted="skip"``, in which case ``trials`` already counts
+    only the trials that actually ran.  A result with ``skipped_trials > 0``
+    is *incomplete* — it estimates the same rate from fewer samples — and is
+    deliberately never cached by :class:`~repro.store.SweepCache`.
     """
 
     physical_error_rate: float
@@ -75,6 +85,9 @@ class MemoryExperimentResult:
     tier_names: tuple[str, ...] = ()
     tier_trials: tuple[int, ...] = ()
     tier_rounds: tuple[int, ...] = ()
+    engine_degraded: bool = False
+    skipped_shards: int = 0
+    skipped_trials: int = 0
 
     def __post_init__(self) -> None:
         # Store round-trips decode JSON arrays as lists; normalise so
@@ -182,6 +195,9 @@ def run_memory_experiment(
     chunk_trials: int | None = None,
     adaptive: WilsonStoppingRule | None = None,
     checkpoint: object | None = None,
+    faults: object | None = None,
+    fault_report: object | None = None,
+    fault_injector: object | None = None,
 ) -> MemoryExperimentResult:
     """Estimate the logical error rate of a decoder with Monte-Carlo trials.
 
@@ -218,6 +234,14 @@ def run_memory_experiment(
         checkpoint: per-wave mid-point resume slot for adaptive runs (e.g.
             :class:`repro.store.AdaptiveCheckpoint`); see
             :func:`repro.simulation.shard.run_sharded_adaptive`.
+        faults: a :class:`repro.faults.FaultPolicy` for the sharded engine
+            (retries, shard timeouts, pool recovery); recovery never changes
+            the merged counts.  See :func:`repro.simulation.shard.run_sharded`.
+        fault_report: optional :class:`repro.faults.FaultReport` to
+            accumulate recovery counters into.
+        fault_injector: optional :class:`repro.faults.FaultInjector`
+            carrying a deterministic chaos plan (test mode); defaults to the
+            ambient ``REPRO_FAULT_PLAN`` plan, if set.
     """
     if checkpoint is not None and adaptive is None:
         raise ConfigurationError(
@@ -227,6 +251,13 @@ def run_memory_experiment(
     if engine != "sharded" and workers is not None:
         raise ConfigurationError(
             f"workers is only meaningful for engine='sharded', got engine={engine!r}"
+        )
+    if engine != "sharded" and (
+        faults is not None or fault_report is not None or fault_injector is not None
+    ):
+        raise ConfigurationError(
+            "faults / fault_report / fault_injector are only meaningful for "
+            f"engine='sharded', got engine={engine!r}"
         )
     if adaptive is not None and engine != "sharded":
         raise ConfigurationError(
@@ -239,6 +270,9 @@ def run_memory_experiment(
         )
 
         kwargs = {} if chunk_trials is None else {"chunk_trials": chunk_trials}
+        kwargs.update(
+            faults=faults, fault_report=fault_report, fault_injector=fault_injector
+        )
         if adaptive is not None:
             return run_memory_experiment_adaptive(
                 code,

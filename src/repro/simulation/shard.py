@@ -34,7 +34,23 @@ equivalence tests in ``tests/simulation/test_shard_engine.py`` pin.
 ``workers=1`` (or an unavailable ``ProcessPoolExecutor``, e.g. a sandbox
 without POSIX semaphores) runs the same shard plan sequentially in-process,
 so restricted CI environments still exercise every code path with identical
-results.
+results.  A pool that cannot be constructed degrades with a
+:class:`~repro.faults.DegradedExecutionWarning` and flags ``engine_degraded``
+on the run's :class:`~repro.faults.FaultReport` — never silently.
+
+Fault tolerance
+---------------
+Dispatch goes through :class:`repro.faults.ShardExecutor`: because each
+shard's partial result is a pure function of ``(seed, shard_index)``, a
+failed, timed-out, or killed shard is simply re-dispatched and the retried
+attempt is **bit-identical** to the one that died.  ``faults=`` takes a
+:class:`~repro.faults.FaultPolicy` (default: up to 2 retries per shard,
+deterministic jittered backoff, no timeout); ``fault_report=`` exposes what
+recovery actually happened; ``fault_injector=`` (or the ambient
+``REPRO_FAULT_PLAN`` environment variable) injects deterministic chaos for
+testing.  Shards dropped under ``on_exhausted="skip"`` are excluded from the
+merge and recorded on the report — the merged counts then cover fewer trials
+than requested, and callers must propagate that provenance.
 
 Adaptive allocation
 -------------------
@@ -58,17 +74,23 @@ match the current run is ignored: its shard streams would not line up.
 from __future__ import annotations
 
 import os
-from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.decoders.base import Decoder
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, FaultToleranceError
+from repro.faults import (
+    SKIPPED,
+    FaultInjector,
+    FaultPolicy,
+    FaultReport,
+    ShardExecutor,
+)
 from repro.noise.models import NoiseModel
-from repro.noise.rng import resolve_entropy, shard_rng
+from repro.noise.rng import resolve_entropy
 from repro.simulation.monte_carlo import WilsonStoppingRule, wilson_interval
 from repro.types import StabilizerType
 
@@ -118,45 +140,30 @@ def _resolve_workers(workers: int | None) -> int:
     return workers
 
 
-def _run_kernel_shard(
-    kernel: ShardKernel, shard_trials: int, seed: int, shard_index: int
-) -> Any:
-    """Run one shard under the seeding contract (top-level so it pickles)."""
-    return kernel(shard_trials, shard_rng(seed, shard_index))
+def _resolve_fault_args(
+    faults: FaultPolicy | None, fault_report: FaultReport | None
+) -> tuple[FaultPolicy, FaultReport]:
+    policy = faults if faults is not None else FaultPolicy()
+    report = fault_report if fault_report is not None else FaultReport()
+    return policy, report
 
 
-def _run_kernel_shard_args(args: tuple) -> Any:
-    """``pool.map`` adapter (top-level so it pickles)."""
-    return _run_kernel_shard(*args)
+def _merge_outcomes(
+    outcomes: list, merge: Callable[[Any, Any], Any]
+) -> tuple[Any, int]:
+    """Merge executor outcomes, excluding skipped shards.
 
-
-@contextmanager
-def _shard_mapper(workers: int) -> Iterator[Callable[[list[tuple]], list]]:
-    """Yield a mapper over shard-arg tuples, pooled when ``workers > 1``.
-
-    Environments without working multiprocessing primitives (no POSIX
-    semaphores, no forking) raise while *constructing* the pool (its queues
-    allocate locks/semaphores eagerly); since worker count never affects
-    results, falling back to the sequential path there is safe.  Only
-    construction is guarded — an error raised by shard code itself must
-    propagate, not silently re-run the whole budget in-process.
+    Returns ``(merged, completed_count)``; ``merged`` is ``None`` when every
+    shard was skipped.
     """
-
-    def sequential(arg_tuples: list[tuple]) -> list:
-        return [_run_kernel_shard(*args) for args in arg_tuples]
-
-    if workers == 1:
-        yield sequential
-        return
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-
-        pool = ProcessPoolExecutor(max_workers=workers)
-    except (ImportError, NotImplementedError, OSError, PermissionError):
-        yield sequential
-        return
-    with pool:
-        yield lambda arg_tuples: list(pool.map(_run_kernel_shard_args, arg_tuples))
+    merged: Any = None
+    completed = 0
+    for outcome in outcomes:
+        if outcome is SKIPPED:
+            continue
+        merged = outcome if merged is None else merge(merged, outcome)
+        completed += 1
+    return merged, completed
 
 
 def run_sharded(
@@ -166,6 +173,9 @@ def run_sharded(
     chunk_trials: int = DEFAULT_SHARD_TRIALS,
     workers: int | None = None,
     merge: Callable[[Any, Any], Any] = merge_counts,
+    faults: FaultPolicy | None = None,
+    fault_report: FaultReport | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> Any:
     """Run ``kernel`` over a deterministic shard plan and merge the partials.
 
@@ -181,19 +191,47 @@ def run_sharded(
             the shards sequentially in-process.  The value never affects the
             merged result, only wall-clock time.
         merge: associative, commutative combiner of two partial results.
+        faults: the :class:`~repro.faults.FaultPolicy` governing retries,
+            timeouts, and pool recovery (default: retry each failed shard up
+            to twice with deterministic backoff).  Recovery never changes the
+            merged result — retried shards replay their streams bit-identically
+            — so the policy is execution provenance, not part of the result's
+            identity.  ``FaultPolicy(max_retries=0)`` restores fail-fast
+            dispatch.
+        fault_report: optional :class:`~repro.faults.FaultReport` to
+            accumulate recovery counters (retries, timeouts, pool respawns,
+            degradations, skipped shards) into.
+        fault_injector: optional :class:`~repro.faults.FaultInjector` with a
+            deterministic chaos plan; defaults to the ambient
+            ``REPRO_FAULT_PLAN`` environment plan, if set.
+
+    Raises:
+        ShardRetriesExhaustedError: a shard kept failing past its retry
+            budget and ``faults.on_exhausted`` is ``"raise"``.
+        FaultToleranceError: ``on_exhausted="skip"`` dropped *every* shard,
+            leaving nothing to merge.
     """
     seed = _resolve_seed(seed)
     workers = _resolve_workers(workers)
     shards = plan_shards(trials, chunk_trials)
-    shard_args = [
+    tasks = [
         (kernel, shard_trials, seed, index)
         for index, shard_trials in enumerate(shards)
     ]
-    with _shard_mapper(min(workers, len(shards))) as mapper:
-        outcomes = mapper(shard_args)
-    merged = outcomes[0]
-    for outcome in outcomes[1:]:
-        merged = merge(merged, outcome)
+    policy, report = _resolve_fault_args(faults, fault_report)
+    with ShardExecutor(
+        workers=min(workers, len(shards)),
+        policy=policy,
+        injector=fault_injector,
+        report=report,
+    ) as executor:
+        outcomes = executor.run(tasks)
+    merged, _ = _merge_outcomes(outcomes, merge)
+    if merged is None:
+        raise FaultToleranceError(
+            f"all {len(shards)} shard(s) were skipped after exhausting their "
+            "retry budgets; nothing to merge"
+        )
     return merged
 
 
@@ -271,6 +309,9 @@ def run_sharded_adaptive(
     workers: int | None = None,
     merge: Callable[[Any, Any], Any] = merge_counts,
     checkpoint: Any | None = None,
+    faults: FaultPolicy | None = None,
+    fault_report: FaultReport | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> AdaptiveShardRun:
     """Spawn shard waves by index until ``stop`` is satisfied.
 
@@ -300,6 +341,16 @@ def run_sharded_adaptive(
             result without spawning a single shard.  Only JSON-compatible
             merged partials (numbers/strings in flat tuples) are
             checkpointable.
+        faults: per-shard :class:`~repro.faults.FaultPolicy` (see
+            :func:`run_sharded`); one executor — and hence one pool and one
+            set of recovery budgets per incident — spans all waves.  Under
+            ``on_exhausted="skip"`` a skipped shard's trials do not count
+            toward ``trials_done``, so the stopping rule only ever sees
+            trials that actually ran.
+        fault_report: optional :class:`~repro.faults.FaultReport`
+            accumulating recovery counters across all waves.
+        fault_injector: optional :class:`~repro.faults.FaultInjector`;
+            defaults to the ambient ``REPRO_FAULT_PLAN`` plan, if set.
 
     Returns:
         An :class:`AdaptiveShardRun` with the merged value, the trials
@@ -314,7 +365,10 @@ def run_sharded_adaptive(
         resumed = _load_checkpoint_state(checkpoint, seed, chunk_trials)
         if resumed is not None:
             merged, trials_done, next_index = resumed
-    with _shard_mapper(workers) as mapper:
+    policy, report = _resolve_fault_args(faults, fault_report)
+    with ShardExecutor(
+        workers=workers, policy=policy, injector=fault_injector, report=report
+    ) as executor:
         while merged is None or not stop.satisfied(successes_of(merged), trials_done):
             # Same schedule whether fresh or resumed: cover min_trials first,
             # then double the consumed total, clamped to the budget cap.
@@ -325,14 +379,29 @@ def run_sharded_adaptive(
             if wave <= 0:
                 break
             sizes = plan_shards(wave, chunk_trials)
-            shard_args = [
+            tasks = [
                 (kernel, shard_trials, seed, next_index + offset)
                 for offset, shard_trials in enumerate(sizes)
             ]
-            outcomes = mapper(shard_args)
+            outcomes = executor.run(tasks)
             next_index += len(sizes)
-            trials_done += wave
+            wave_done = sum(
+                size
+                for size, outcome in zip(sizes, outcomes)
+                if outcome is not SKIPPED
+            )
+            if wave_done == 0:
+                # Every shard of the wave was dropped: the consumed-trial
+                # cursor cannot advance and the wave schedule would spin.
+                raise FaultToleranceError(
+                    f"all {len(sizes)} shard(s) of an adaptive wave were "
+                    "skipped after exhausting their retry budgets; the run "
+                    "cannot make progress"
+                )
+            trials_done += wave_done
             for outcome in outcomes:
+                if outcome is SKIPPED:
+                    continue
                 merged = outcome if merged is None else merge(merged, outcome)
             if checkpoint is not None:
                 checkpoint.save(
@@ -439,6 +508,9 @@ def run_memory_experiment_sharded(
     decoder_name: str | None = None,
     chunk_trials: int = DEFAULT_SHARD_TRIALS,
     workers: int | None = None,
+    faults: FaultPolicy | None = None,
+    fault_report: FaultReport | None = None,
+    fault_injector: FaultInjector | None = None,
 ):
     """Sharded counterpart of :func:`repro.simulation.memory.run_memory_experiment`.
 
@@ -450,12 +522,18 @@ def run_memory_experiment_sharded(
         workers: process count; defaults to ``os.cpu_count()``.  ``1`` runs
             the shards sequentially in-process.  The value never affects the
             merged counts, only wall-clock time.
+        faults / fault_report / fault_injector: see :func:`run_sharded`.
+            Recovery provenance lands on the returned result:
+            ``engine_degraded`` when the pool could not be constructed, and
+            ``skipped_shards`` / ``skipped_trials`` (with ``trials`` reduced
+            accordingly) when ``on_exhausted="skip"`` dropped shards.
     """
     # Imported lazily: memory.py re-exports this engine behind its
     # ``engine="sharded"`` switch, so a module-level import would be circular.
     from repro.simulation.memory import MemoryExperimentResult
 
     rounds = _resolve_rounds(code, rounds)
+    policy, report = _resolve_fault_args(faults, fault_report)
     failures, onchip_rounds, total_rounds, kernel_name, tier_names, tier_trials, tier_rounds = run_sharded(
         MemoryKernel(code, noise, decoder_factory, rounds, stype),
         trials=trials,
@@ -463,12 +541,15 @@ def run_memory_experiment_sharded(
         chunk_trials=chunk_trials,
         workers=workers,
         merge=merge_memory_counts,
+        faults=policy,
+        fault_report=report,
+        fault_injector=fault_injector,
     )
     return MemoryExperimentResult(
         physical_error_rate=noise.data_error_rate,
         code_distance=code.distance,
         rounds=rounds,
-        trials=trials,
+        trials=trials - report.skipped_trials,
         logical_failures=failures,
         decoder_name=decoder_name or kernel_name,
         onchip_rounds=onchip_rounds,
@@ -476,6 +557,9 @@ def run_memory_experiment_sharded(
         tier_names=tier_names,
         tier_trials=tier_trials,
         tier_rounds=tier_rounds,
+        engine_degraded=report.engine_degraded,
+        skipped_shards=len(report.skipped_shards),
+        skipped_trials=report.skipped_trials,
     )
 
 
@@ -491,17 +575,24 @@ def run_memory_experiment_adaptive(
     chunk_trials: int = DEFAULT_SHARD_TRIALS,
     workers: int | None = None,
     checkpoint: Any | None = None,
+    faults: FaultPolicy | None = None,
+    fault_report: FaultReport | None = None,
+    fault_injector: FaultInjector | None = None,
 ):
     """Adaptive memory experiment: shards until the failure-rate CI converges.
 
     The tracked proportion is the logical-failure rate; ``stop`` bounds the
     budget (``stop.max_trials``) and the returned result's ``trials`` field
     records what was actually consumed.  ``checkpoint`` enables per-wave
-    mid-point resume (see :func:`run_sharded_adaptive`).
+    mid-point resume (see :func:`run_sharded_adaptive`); ``faults`` /
+    ``fault_report`` / ``fault_injector`` configure per-shard fault
+    tolerance (see :func:`run_sharded`), with recovery provenance attached
+    to the returned result as in :func:`run_memory_experiment_sharded`.
     """
     from repro.simulation.memory import MemoryExperimentResult
 
     rounds = _resolve_rounds(code, rounds)
+    policy, report = _resolve_fault_args(faults, fault_report)
     run = run_sharded_adaptive(
         MemoryKernel(code, noise, decoder_factory, rounds, stype),
         stop=stop,
@@ -511,6 +602,9 @@ def run_memory_experiment_adaptive(
         workers=workers,
         merge=merge_memory_counts,
         checkpoint=checkpoint,
+        faults=policy,
+        fault_report=report,
+        fault_injector=fault_injector,
     )
     failures, onchip_rounds, total_rounds, kernel_name, tier_names, tier_trials, tier_rounds = run.value
     return MemoryExperimentResult(
@@ -525,6 +619,9 @@ def run_memory_experiment_adaptive(
         tier_names=tier_names,
         tier_trials=tier_trials,
         tier_rounds=tier_rounds,
+        engine_degraded=report.engine_degraded,
+        skipped_shards=len(report.skipped_shards),
+        skipped_trials=report.skipped_trials,
     )
 
 

@@ -18,6 +18,7 @@ from repro.store.serialization import RESULT_TYPES, from_dict, to_dict
 from repro.store.store import (
     AdaptiveCheckpoint,
     ResultStore,
+    StoreCorruptionWarning,
     SweepCache,
     open_store,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "CODE_VERSION_SALT",
     "RESULT_TYPES",
     "ResultStore",
+    "StoreCorruptionWarning",
     "SweepCache",
     "canonical_json",
     "canonical_value",

@@ -1,0 +1,138 @@
+"""Unit tests for the fault-plan grammar and the injection harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ShardTimeoutError
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    FaultInjector,
+    FaultPlan,
+    InjectedWorkerCrash,
+    InjectedWorkerError,
+    ShardFault,
+    parse_fault_plan,
+)
+
+
+class TestPlanGrammar:
+    def test_full_plan_parses(self):
+        plan = parse_fault_plan(
+            "shard 1 attempt 0 raise; shard 2 attempts 0-1 kill; "
+            "shard 0 attempt 3 hang 5.5; store line 4 corrupt; "
+            "checkpoint truncate 1"
+        )
+        assert plan.shard_faults == (
+            ShardFault(1, 0, 0, "raise"),
+            ShardFault(2, 0, 1, "kill"),
+            ShardFault(0, 3, 3, "hang", 5.5),
+        )
+        assert plan.corrupt_store_lines == (4,)
+        assert plan.truncate_checkpoint_saves == (1,)
+        assert not plan.is_empty
+
+    def test_attempts_default_to_first(self):
+        plan = parse_fault_plan("shard 3 raise")
+        assert plan.shard_faults == (ShardFault(3, 0, 0, "raise"),)
+
+    def test_checkpoint_truncate_defaults_to_first_save(self):
+        assert parse_fault_plan("checkpoint truncate").truncate_checkpoint_saves == (0,)
+
+    def test_case_insensitive_and_whitespace_tolerant(self):
+        plan = parse_fault_plan("  SHARD 1 Attempts 2-4 KILL ;; Store Line 0 Corrupt ")
+        assert plan.shard_faults == (ShardFault(1, 2, 4, "kill"),)
+        assert plan.corrupt_store_lines == (0,)
+
+    def test_empty_text_is_empty_plan(self):
+        assert parse_fault_plan("").is_empty
+        assert parse_fault_plan(" ; ; ").is_empty
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "shard",  # missing index
+            "shard x raise",  # bad index
+            "shard -1 raise",  # negative index
+            "shard 1",  # missing action
+            "shard 1 explode",  # unknown action
+            "shard 1 hang",  # hang without duration
+            "shard 1 hang zero",  # bad duration
+            "shard 1 hang 0",  # non-positive duration
+            "shard 1 attempts 2-1 raise",  # inverted range
+            "shard 1 attempt raise",  # missing range value
+            "shard 1 raise extra",  # trailing tokens
+            "store line corrupt",  # missing line number
+            "store row 1 corrupt",  # wrong keyword
+            "checkpoint truncate 1 2",  # too many tokens
+            "disk full",  # unknown subject
+        ],
+    )
+    def test_malformed_clauses_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_fault_plan(text)
+
+
+class TestPlanQueries:
+    def test_shard_fault_matching_by_attempt_window(self):
+        plan = parse_fault_plan("shard 2 attempts 1-3 raise")
+        assert plan.shard_fault(2, 0) is None
+        assert plan.shard_fault(2, 1) is not None
+        assert plan.shard_fault(2, 3) is not None
+        assert plan.shard_fault(2, 4) is None
+        assert plan.shard_fault(1, 1) is None
+
+    def test_store_and_checkpoint_queries(self):
+        plan = parse_fault_plan("store line 3 corrupt; checkpoint truncate 2")
+        assert plan.corrupts_store_line(3)
+        assert not plan.corrupts_store_line(0)
+        assert plan.truncates_checkpoint_save(2)
+        assert not plan.truncates_checkpoint_save(0)
+
+
+class TestInjector:
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert FaultInjector.from_env() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "  ")
+        assert FaultInjector.from_env() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "shard 0 raise")
+        injector = FaultInjector.from_env()
+        assert injector is not None
+        assert injector.plan.shard_fault(0, 0).action == "raise"
+
+    def test_no_fault_scheduled_is_a_no_op(self):
+        injector = FaultInjector.from_text("shard 5 raise")
+        injector.fire_shard_fault(0, 0, in_process=True, timeout=None)
+
+    def test_raise_action(self):
+        injector = FaultInjector.from_text("shard 1 attempt 0 raise")
+        with pytest.raises(InjectedWorkerError):
+            injector.fire_shard_fault(1, 0, in_process=True, timeout=None)
+        injector.fire_shard_fault(1, 1, in_process=True, timeout=None)  # retry clean
+
+    def test_kill_simulated_in_process(self):
+        injector = FaultInjector.from_text("shard 2 kill")
+        with pytest.raises(InjectedWorkerCrash):
+            injector.fire_shard_fault(2, 0, in_process=True, timeout=None)
+
+    def test_long_hang_simulates_timeout_in_process(self):
+        injector = FaultInjector.from_text("shard 0 hang 60")
+        with pytest.raises(ShardTimeoutError):
+            injector.fire_shard_fault(0, 0, in_process=True, timeout=0.01)
+
+    def test_short_hang_just_sleeps(self):
+        injector = FaultInjector.from_text("shard 0 hang 0.01")
+        injector.fire_shard_fault(0, 0, in_process=True, timeout=5.0)
+
+    def test_injector_is_picklable(self):
+        import pickle
+
+        injector = FaultInjector.from_text("shard 1 kill; store line 0 corrupt")
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone.plan == injector.plan
+
+    def test_plan_is_immutable(self):
+        plan = FaultPlan(shard_faults=(ShardFault(0, 0, 0, "raise"),))
+        with pytest.raises(AttributeError):
+            plan.shard_faults = ()

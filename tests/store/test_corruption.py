@@ -1,0 +1,233 @@
+"""Store hardening: CRC lines, quarantine, strict mode, injected damage."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import StoreCorruptionError
+from repro.faults import FaultInjector
+from repro.simulation.coverage import CoverageResult
+from repro.store import (
+    AdaptiveCheckpoint,
+    ResultStore,
+    StoreCorruptionWarning,
+    result_key,
+)
+
+
+def _coverage(cycles: int = 100, onchip: int = 90) -> CoverageResult:
+    return CoverageResult(
+        physical_error_rate=1e-2,
+        code_distance=3,
+        measurement_rounds=2,
+        cycles=cycles,
+        onchip_cycles=onchip,
+        all_zero_cycles=onchip // 2,
+    )
+
+
+def _key(n: int) -> str:
+    return result_key("fig11", {"cycles": n}, 7)
+
+
+def _populated_store(root, n: int = 3) -> ResultStore:
+    store = ResultStore(root)
+    for i in range(n):
+        store.put(_key(i), _coverage(cycles=100 + i))
+    return store
+
+
+def _stomp_line(root, line_number: int, payload: bytes = b"#CORRUPTED#") -> int:
+    """Overwrite bytes inside one line of results.jsonl; return its offset."""
+    path = root / "results.jsonl"
+    data = path.read_bytes()
+    offset = 0
+    for _ in range(line_number):
+        offset = data.index(b"\n", offset) + 1
+    with path.open("r+b") as handle:
+        handle.seek(offset + 2)
+        handle.write(payload)
+    return offset
+
+
+class TestQuarantine:
+    def test_midfile_damage_is_quarantined_with_coordinates(self, tmp_path):
+        root = tmp_path / "store"
+        _populated_store(root)
+        offset = _stomp_line(root, 1)
+        with pytest.warns(
+            StoreCorruptionWarning, match=f"line 1 at byte {offset}"
+        ):
+            reopened = ResultStore(root)
+            assert len(reopened) == 2
+        assert reopened.get(_key(0)) == _coverage(cycles=100)
+        assert reopened.get(_key(1)) is None  # the damaged record
+        assert reopened.get(_key(2)) == _coverage(cycles=102)
+        (entry,) = reopened.quarantined
+        assert entry["line_number"] == 1
+        assert entry["byte_offset"] == offset
+        assert "unparseable JSON" in entry["reason"]
+
+    def test_crc_mismatch_on_valid_json_is_quarantined(self, tmp_path):
+        # Damage that stays parseable — a flipped digit in a numeric field —
+        # is exactly what the CRC exists to catch.
+        root = tmp_path / "store"
+        _populated_store(root, n=2)
+        path = root / "results.jsonl"
+        lines = path.read_text(encoding="utf-8").splitlines()
+        entry = json.loads(lines[0])
+        entry["record"]["cycles"] += 1  # silent bit-rot, still valid JSON
+        lines[0] = json.dumps(entry, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.warns(StoreCorruptionWarning, match="CRC mismatch"):
+            reopened = ResultStore(root)
+            assert len(reopened) == 1
+        assert reopened.get(_key(0)) is None
+
+    def test_parseable_non_store_line_is_quarantined(self, tmp_path):
+        root = tmp_path / "store"
+        _populated_store(root, n=1)
+        with (root / "results.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write('{"not": "a store line"}\n')
+            handle.write("[1, 2, 3]\n")
+        with pytest.warns(StoreCorruptionWarning):
+            reopened = ResultStore(root)
+            assert len(reopened) == 1
+        assert len(reopened.quarantined) == 2
+
+    def test_legacy_crc_less_lines_are_served(self, tmp_path):
+        root = tmp_path / "store"
+        _populated_store(root, n=1)
+        path = root / "results.jsonl"
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        del entry["crc"]
+        path.write_text(json.dumps(entry, sort_keys=True) + "\n", encoding="utf-8")
+        reopened = ResultStore(root)
+        assert reopened.get(_key(0)) == _coverage(cycles=100)
+        assert not reopened.quarantined
+
+    def test_compact_drops_quarantined_lines(self, tmp_path):
+        root = tmp_path / "store"
+        _populated_store(root)
+        _stomp_line(root, 1)
+        store = ResultStore(root)
+        summary = store.compact()
+        assert summary == {
+            "records_kept": 2,
+            "lines_dropped": 1,
+            "lines_quarantined": 1,
+            "checkpoints_dropped": 0,
+        }
+        # The rewritten file is clean: a strict open succeeds.
+        assert len(ResultStore(root, strict=True)) == 2
+
+    def test_equal_content_compacts_to_identical_bytes(self, tmp_path):
+        # Canonical form: write order must not leak into the compacted file.
+        root_a, root_b = tmp_path / "a", tmp_path / "b"
+        store_a, store_b = ResultStore(root_a), ResultStore(root_b)
+        for i in (0, 1, 2):
+            store_a.put(_key(i), _coverage(cycles=100 + i))
+        for i in (2, 0, 1):
+            store_b.put(_key(i), _coverage(cycles=100 + i))
+        store_b.put(_key(1), _coverage(cycles=101))  # dead duplicate line
+        store_a.compact()
+        store_b.compact()
+        assert (root_a / "results.jsonl").read_bytes() == (
+            root_b / "results.jsonl"
+        ).read_bytes()
+
+
+class TestStrictMode:
+    def test_strict_open_raises_with_line_and_offset(self, tmp_path):
+        root = tmp_path / "store"
+        _populated_store(root)
+        offset = _stomp_line(root, 1)
+        with pytest.raises(StoreCorruptionError) as info:
+            len(ResultStore(root, strict=True))
+        assert info.value.line_number == 1
+        assert info.value.byte_offset == offset
+        assert f"line 1 at byte {offset}" in str(info.value)
+
+    def test_strict_still_skips_torn_tail(self, tmp_path):
+        root = tmp_path / "store"
+        _populated_store(root, n=1)
+        with (root / "results.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "deadbeef", "record": {"__ty')
+        assert len(ResultStore(root, strict=True)) == 1
+
+    def test_strict_compact_refuses_to_rewrite(self, tmp_path):
+        root = tmp_path / "store"
+        _populated_store(root)
+        _stomp_line(root, 0)
+        before = (root / "results.jsonl").read_bytes()
+        with pytest.raises(StoreCorruptionError):
+            ResultStore(root, strict=True).compact()
+        assert (root / "results.jsonl").read_bytes() == before
+
+
+class TestInjectedStoreFaults:
+    def test_injected_line_corruption_surfaces_on_fresh_open(self, tmp_path):
+        root = tmp_path / "store"
+        injector = FaultInjector.from_text("store line 1 corrupt")
+        store = ResultStore(root, fault_injector=injector)
+        for i in range(3):
+            store.put(_key(i), _coverage(cycles=100 + i))
+        # Realistic bit rot: the writer's in-memory index still serves the
+        # record; only a fresh open sees the on-disk damage.
+        assert store.get(_key(1)) == _coverage(cycles=101)
+        with pytest.warns(StoreCorruptionWarning, match="line 1"):
+            reopened = ResultStore(root)
+            assert len(reopened) == 2
+        assert reopened.get(_key(1)) is None
+
+    def test_injected_checkpoint_truncation_loads_as_none(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        injector = FaultInjector.from_text("checkpoint truncate 1")
+        checkpoint = AdaptiveCheckpoint(path, fault_injector=injector)
+        checkpoint.save({"wave": 1})
+        assert AdaptiveCheckpoint(path).load() == {"wave": 1}  # save 0 intact
+        checkpoint.save({"wave": 2})  # save 1 is truncated mid-write
+        assert AdaptiveCheckpoint(path).load() is None
+
+
+class TestSkippedResultsNeverPersist:
+    def test_point_returns_but_does_not_store_degraded_results(self, tmp_path):
+        from types import SimpleNamespace
+
+        from repro.store import SweepCache
+
+        store = ResultStore(tmp_path / "store")
+        cache = SweepCache(store, "fig14")
+        config = {"kind": "memory", "distance": 5}
+        checkpoint = cache.checkpoint(config, 7)
+        checkpoint.save({"wave": 3})
+        degraded = SimpleNamespace(skipped_trials=20)
+        assert cache.point(config, 7, lambda: degraded) is degraded
+        # Nothing persisted, and the mid-point checkpoint survives so a
+        # healthier re-run resumes instead of restarting.
+        assert len(store) == 0
+        assert checkpoint.load() == {"wave": 3}
+
+
+class TestCheckpointEnvelope:
+    def test_crc_envelope_round_trips(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        AdaptiveCheckpoint(path).save({"trials_done": 400, "seed": 7})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert set(data) == {"crc", "state"}
+        assert AdaptiveCheckpoint(path).load() == {"trials_done": 400, "seed": 7}
+
+    def test_tampered_state_fails_crc_and_loads_none(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        AdaptiveCheckpoint(path).save({"trials_done": 400})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["state"]["trials_done"] = 800
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert AdaptiveCheckpoint(path).load() is None
+
+    def test_legacy_plain_dict_checkpoint_passes_through(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 1, "trials_done": 10}))
+        assert AdaptiveCheckpoint(path).load() == {"version": 1, "trials_done": 10}

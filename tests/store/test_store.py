@@ -200,6 +200,7 @@ class TestCompact:
         assert summary == {
             "records_kept": 2,
             "lines_dropped": 1,
+            "lines_quarantined": 0,
             "checkpoints_dropped": 0,
         }
         lines = (tmp_path / "results.jsonl").read_text().splitlines()
@@ -245,5 +246,6 @@ class TestCompact:
         assert summary == {
             "records_kept": 0,
             "lines_dropped": 0,
+            "lines_quarantined": 0,
             "checkpoints_dropped": 0,
         }

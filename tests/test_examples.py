@@ -1,9 +1,9 @@
 """Smoke lane for the ``examples/`` scripts.
 
-The examples are the repo's public quickstarts, and three engine refactors
-have already churned the API underneath them — this lane subprocess-runs all
-four with shrunken Monte-Carlo budgets (the ``REPRO_EXAMPLE_*`` env knobs)
-so an API break surfaces in tier-1 instead of in a user's terminal.
+The examples are the repo's public quickstarts, and several engine refactors
+have already churned the API underneath them — this lane subprocess-runs
+every script with shrunken Monte-Carlo budgets (the ``REPRO_EXAMPLE_*`` env
+knobs) so an API break surfaces in tier-1 instead of in a user's terminal.
 """
 
 from __future__ import annotations
@@ -32,6 +32,10 @@ EXAMPLES = {
     "cryogenic_budget_planner.py": (
         {"REPRO_EXAMPLE_CYCLES": "2000"},
         "Clique decoder",
+    ),
+    "fault_tolerant_sweep.py": (
+        {"REPRO_EXAMPLE_TRIALS": "64"},
+        "bit-identical",
     ),
 }
 
