@@ -16,6 +16,7 @@ Examples:
     repro-qec fig14 --scale paper --store results/   # resume on re-run
     repro-qec fig14 --scale paper --store results/ --force
     repro-qec fig14 --scale paper --max-retries 4 --shard-timeout 300
+    repro-qec run fig14 --no-packed                  # unpacked reference path
     repro-qec store compact results/                 # GC a long-lived store
 
 ``--engine`` selects the Monte-Carlo engine for memory experiments (fig14):
@@ -40,7 +41,10 @@ completes and makes re-runs resume (``--resume``, the default) or recompute
 directory; see README.md → "Results and resume".  ``--max-retries`` /
 ``--shard-timeout`` tune the sharded engine's fault tolerance (retried
 shards replay their RNG streams bit-identically, so neither flag ever
-changes results); see README.md → "Fault tolerance".
+changes results); see README.md → "Fault tolerance".  ``--no-packed``
+switches the batch/sharded memory engines off their default uint64
+bitplane kernels onto the unpacked uint8 reference path — bit-identical
+results, lower throughput; see README.md → "Packed kernels".
 """
 
 from __future__ import annotations
@@ -232,6 +236,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--no-packed",
+        action="store_false",
+        dest="packed",
+        default=None,
+        help=(
+            "memory experiments (fig14/fig14_fallbacks): run the batch/"
+            "sharded engines on the unpacked uint8 reference path instead of "
+            "the default uint64 bitplane kernels (bit-identical results "
+            "under the same seed; packed only changes throughput and peak "
+            "memory — see README.md -> 'Packed kernels')"
+        ),
+    )
+    run_parser.add_argument(
         "--scale",
         choices=("laptop", "paper"),
         default=None,
@@ -339,6 +356,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "target_ci_width",
             "max_retries",
             "shard_timeout",
+            "packed",
         ):
             value = getattr(args, flag)
             if value is not None:

@@ -43,10 +43,16 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import bitplane
 from repro.clique.decoder import CliqueDecoder
 from repro.clique.measurement_filter import PersistenceFilter
 from repro.codes.rotated_surface import RotatedSurfaceCode
-from repro.decoders.base import BatchDecodeResult, Decoder, DecodeResult
+from repro.decoders.base import (
+    BatchDecodeResult,
+    Decoder,
+    DecodeResult,
+    PackedBatchDecodeResult,
+)
 from repro.decoders.matching_graph import MatchingGraph
 from repro.decoders.mwpm import DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT, MWPMDecoder
 from repro.decoders.registry import CLIQUE_TIER, resolve_tier_name
@@ -386,6 +392,105 @@ class DecoderCascade(Decoder):
 
         return BatchDecodeResult(
             corrections=corrections,
+            onchip_rounds=num_rounds - offchip_round_counts,
+            total_rounds=np.full(trials, num_rounds, dtype=np.int64),
+            tier_trials=tier_trials,
+            tier_rounds=tier_rounds,
+        )
+
+    # ------------------------------------------------------------------
+    def decode_batch_packed(
+        self, detections: np.ndarray, trials: int
+    ) -> PackedBatchDecodeResult:
+        """Native packed triage: the whole batch as uint64 trial bitplanes.
+
+        Word-level mirror of :meth:`decode_batch`: every boolean per
+        ``(trial, ancilla)`` entry there becomes one bit of a
+        ``(num_ancillas, words)`` plane pair here, with AND/OR/XOR/NOT
+        standing in for the boolean algebra 64 trials at a time.  Trivial
+        rounds never leave word space; the escalated minority is extracted
+        (in increasing trial order, so the shared ``np.nonzero``-fixed
+        tie-breaks are preserved) and runs through the identical unpacked
+        off-chip tier path, keeping results and per-tier statistics
+        bit-identical to :meth:`decode_batch`.  Padding bits of the ragged
+        last word stay zero throughout, so they are never sticky, complex,
+        or counted.
+        """
+        planes = self._as_packed_detection_batch(detections, trials)
+        num_rounds = planes.shape[0]
+        words = planes.shape[2]
+        window = self._filter.rounds
+        consumed = np.zeros_like(planes)
+        offchip_planes = np.zeros_like(planes)
+        offchip_words = np.zeros((num_rounds, words), dtype=np.uint64)
+        corrections = np.zeros(
+            (self._code.num_data_qubits, words), dtype=np.uint64
+        )
+
+        for round_index in range(num_rounds):
+            window_end = min(round_index + window, num_rounds)
+            masked = (
+                planes[round_index:window_end] & ~consumed[round_index:window_end]
+            )
+            visible = masked[0]
+            if masked.shape[0] > 1:
+                repeats = np.bitwise_or.reduce(masked[1:], axis=0)
+            else:
+                repeats = np.zeros_like(visible)
+            sticky = visible & ~repeats
+            transient = visible & repeats
+            complex_word = self._clique.complex_any_packed(sticky)
+            trivial_word = ~complex_word
+
+            # On-chip branch: XOR-across-rounds corrections, and each
+            # transient event consumes its first future partner flip.
+            corrections ^= self._clique.correction_planes_packed(
+                sticky & trivial_word
+            )
+            remaining = transient & trivial_word
+            for offset in range(1, window_end - round_index):
+                if not remaining.any():
+                    break
+                hit = remaining & masked[offset]
+                consumed[round_index + offset] |= hit
+                remaining &= ~hit
+
+            # Off-chip branch: complex trials queue the round's whole
+            # visible signature for the off-chip tiers.
+            offchip_planes[round_index] = visible & complex_word
+            offchip_words[round_index] = complex_word
+
+            # Both branches consume everything visible this round.
+            consumed[round_index] |= visible
+
+        # Per-trial off-chip round counts (real trials only — padding bits
+        # are zero in every complex word by the trivial default above).
+        offchip_round_counts = (
+            bitplane.unpack_trials(offchip_words, trials)
+            .sum(axis=1, dtype=np.int64)
+        )
+
+        tier_trials = np.zeros(self.num_tiers, dtype=np.int64)
+        tier_rounds = np.zeros(self.num_tiers, dtype=np.int64)
+        offchip_trials = np.flatnonzero(offchip_round_counts)
+        tier_trials[0] = trials - offchip_trials.size
+        tier_rounds[0] = trials * num_rounds - int(offchip_round_counts.sum())
+        if offchip_trials.size:
+            masks = bitplane.extract_trial_bits(offchip_planes, offchip_trials)
+            bitplane.scatter_xor_trial_bits(
+                corrections,
+                offchip_trials,
+                self._offchip_corrections(
+                    masks,
+                    offchip_round_counts[offchip_trials],
+                    tier_trials,
+                    tier_rounds,
+                ),
+            )
+
+        return PackedBatchDecodeResult(
+            corrections=corrections,
+            trials=trials,
             onchip_rounds=num_rounds - offchip_round_counts,
             total_rounds=np.full(trials, num_rounds, dtype=np.int64),
             tier_trials=tier_trials,

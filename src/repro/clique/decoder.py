@@ -31,6 +31,26 @@ from repro.decoders.base import Decoder, DecodeResult
 from repro.types import Coord, StabilizerType
 
 
+@dataclass(frozen=True)
+class _PackedCliqueTables:
+    """Precomputed index tables for the uint64 bitplane decision helpers.
+
+    ``boundary_mask`` holds one all-ones/all-zeros word per clique (the
+    has-boundary flag broadcast over 64 trials).  The contribution tables
+    flatten the one-hot correction matrices into sparse (source, target
+    qubit) pairs sorted by target so a single ``np.bitwise_or.reduceat``
+    collapses same-qubit contributions with the same set-union semantics as
+    :meth:`CliqueDecoder.correction_bitmap`.
+    """
+
+    boundary_mask: np.ndarray  # (num_cliques, 1) uint64
+    leaf_rows: np.ndarray  # (K_leaf,) flat 4*clique + slot indices
+    lone_cliques: np.ndarray  # (K_lone,) clique indices with a boundary qubit
+    order: np.ndarray  # (K_leaf + K_lone,) argsort by target qubit
+    segment_starts: np.ndarray  # reduceat starts into the sorted contributions
+    target_qubits: np.ndarray  # unique target qubits, one per segment
+
+
 def clique_rule(active: bool, set_neighbor_count: int, has_boundary: bool) -> bool:
     """The per-clique decision of Fig. 5: return True when the clique is *complex*.
 
@@ -114,6 +134,7 @@ class CliqueDecoder(Decoder):
                 self._boundary_correction_table[
                     clique.ancilla_index, data_index[clique.boundary_qubits[0]]
                 ] = 1
+        self._packed_tables_cache: _PackedCliqueTables | None = None
 
     @property
     def cliques(self) -> tuple[Clique, ...]:
@@ -178,6 +199,102 @@ class CliqueDecoder(Decoder):
         lone = active & ~leaf_set.any(axis=-1)
         counts += lone.astype(np.int64) @ self._boundary_correction_table
         return (counts > 0).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Packed (uint64 bitplane) decision helpers — trial ``t`` of every plane
+    # lives at bit ``t % 64`` of word ``t // 64`` (repro.bitplane layout).
+    # ------------------------------------------------------------------
+    def _packed_tables(self) -> _PackedCliqueTables:
+        tables = self._packed_tables_cache
+        if tables is None:
+            boundary_mask = np.where(
+                self._has_boundary, ~np.uint64(0), np.uint64(0)
+            )[:, None]
+            leaf_rows, leaf_qubits = np.nonzero(self._leaf_correction_table)
+            lone_cliques, lone_qubits = np.nonzero(self._boundary_correction_table)
+            targets = np.concatenate([leaf_qubits, lone_qubits])
+            order = np.argsort(targets, kind="stable")
+            sorted_targets = targets[order]
+            if sorted_targets.size:
+                segment_starts = np.flatnonzero(
+                    np.r_[True, sorted_targets[1:] != sorted_targets[:-1]]
+                )
+            else:  # pragma: no cover - no real code is contribution-free
+                segment_starts = np.zeros(0, dtype=np.int64)
+            tables = _PackedCliqueTables(
+                boundary_mask=boundary_mask,
+                leaf_rows=leaf_rows,
+                lone_cliques=lone_cliques,
+                order=order,
+                segment_starts=segment_starts,
+                target_qubits=sorted_targets[segment_starts],
+            )
+            self._packed_tables_cache = tables
+        return tables
+
+    def _packed_leaves(self, signatures: np.ndarray) -> np.ndarray:
+        """Gather each clique's leaf planes: ``(ancillas, words)`` → ``(cliques, 4, words)``."""
+        words = signatures.shape[-1]
+        padded = np.concatenate(
+            [signatures, np.zeros((1, words), dtype=np.uint64)], axis=0
+        )
+        return padded[self._neighbor_table]
+
+    def complex_any_packed(self, signatures: np.ndarray) -> np.ndarray:
+        """Per-trial "some clique is complex" word vector for packed signatures.
+
+        Args:
+            signatures: uint64 planes of shape ``(num_ancillas, words)``.
+
+        Returns:
+            ``(words,)`` uint64: bit ``t`` is set iff trial ``t``'s signature
+            has at least one complex clique — the packed negation of
+            :meth:`is_trivial_batch`.  Padding trials (all-zero planes) come
+            back 0, i.e. trivial.
+        """
+        tables = self._packed_tables()
+        leaves = self._packed_leaves(signatures)
+        parity = np.bitwise_xor.reduce(leaves, axis=1)
+        any_leaf = np.bitwise_or.reduce(leaves, axis=1)
+        # active & even-leaf-count & not the lone-boundary escape: even count
+        # is XOR-parity 0, zero count is OR 0 (cf. clique_rule / complex_mask).
+        complex_planes = signatures & ~parity & ~(~any_leaf & tables.boundary_mask)
+        return np.bitwise_or.reduce(complex_planes, axis=0)
+
+    def correction_planes_packed(self, signatures: np.ndarray) -> np.ndarray:
+        """Packed correction assembly for trivial packed signatures.
+
+        Args:
+            signatures: uint64 planes ``(num_ancillas, words)``; every trial
+                whose bits are set must already be trivial per
+                :meth:`complex_any_packed` (complex trials produce garbage,
+                never an error) — callers mask with the trivial word vector.
+
+        Returns:
+            uint64 correction planes of shape ``(num_data_qubits, words)``,
+            bit-identical to packing :meth:`correction_bitmap`'s rows:
+            same-qubit contributions collapse by OR (set-union semantics).
+        """
+        tables = self._packed_tables()
+        leaves = self._packed_leaves(signatures)
+        leaves_flat = leaves.reshape(-1, leaves.shape[-1])
+        any_leaf = np.bitwise_or.reduce(leaves, axis=1)
+        # Odd-leaf case: active clique XOR set leaf → flip the shared qubit.
+        leaf_contrib = (
+            signatures[tables.leaf_rows // 4] & leaves_flat[tables.leaf_rows]
+        )
+        # Boundary case: active clique with no set leaf flips a boundary qubit.
+        lone_contrib = (
+            signatures[tables.lone_cliques] & ~any_leaf[tables.lone_cliques]
+        )
+        contributions = np.concatenate([leaf_contrib, lone_contrib], axis=0)
+        planes = np.zeros(
+            (self._code.num_data_qubits, signatures.shape[-1]), dtype=np.uint64
+        )
+        planes[tables.target_qubits] = np.bitwise_or.reduceat(
+            contributions[tables.order], tables.segment_starts, axis=0
+        )
+        return planes
 
     # ------------------------------------------------------------------
     def decide(self, signature: np.ndarray) -> CliqueDecision:

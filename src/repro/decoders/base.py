@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import bitplane
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.exceptions import SyndromeShapeError
 from repro.types import Coord, StabilizerType
@@ -68,6 +69,41 @@ class BatchDecodeResult:
     @property
     def num_trials(self) -> int:
         return self.corrections.shape[0]
+
+
+@dataclass(frozen=True)
+class PackedBatchDecodeResult:
+    """Outcome of decoding a batch given as uint64 trial bitplanes.
+
+    The packed counterpart of :class:`BatchDecodeResult`: corrections come
+    back as bitplanes so the packed Monte-Carlo engine XORs them straight
+    into packed accumulated-error planes.  Per-trial statistics stay unpacked
+    (they are ``O(trials)`` integers, not part of the memory-bound hot path)
+    and cover only the ``trials`` real trials, never the ragged-tail padding.
+
+    Attributes:
+        corrections: uint64 planes of shape ``(num_data_qubits, words)`` in
+            ``code.data_index`` plane order; trial ``t``'s correction bit for
+            a qubit lives at bit ``t % 64`` of word ``t // 64``.
+        trials: number of real trials (``words == ceil(trials / 64)``).
+        onchip_rounds: per-trial count of rounds resolved on-chip,
+            shape ``(trials,)``.
+        total_rounds: per-trial count of rounds with location tracking,
+            shape ``(trials,)``.
+        tier_trials: see :attr:`BatchDecodeResult.tier_trials`.
+        tier_rounds: see :attr:`BatchDecodeResult.tier_rounds`.
+    """
+
+    corrections: np.ndarray
+    trials: int
+    onchip_rounds: np.ndarray
+    total_rounds: np.ndarray
+    tier_trials: np.ndarray | None = None
+    tier_rounds: np.ndarray | None = None
+
+    @property
+    def num_trials(self) -> int:
+        return self.trials
 
 
 class Decoder(abc.ABC):
@@ -170,5 +206,55 @@ class Decoder(abc.ABC):
             total_rounds=total_rounds,
         )
 
+    def _as_packed_detection_batch(
+        self, detections: np.ndarray, trials: int
+    ) -> np.ndarray:
+        """Validate a packed ``(rounds, ancillas, words)`` uint64 tensor."""
+        planes = np.asarray(detections)
+        if planes.ndim != 3 or planes.dtype != np.uint64:
+            raise ValueError(
+                "expected a (rounds, ancillas, words) uint64 tensor, got "
+                f"{planes.dtype} with {planes.ndim} dimension(s)"
+            )
+        expected = self._code.num_ancillas_of_type(self._stype)
+        if planes.shape[1] != expected:
+            raise SyndromeShapeError(expected, planes.shape[1])
+        if planes.shape[2] != bitplane.num_words(trials):
+            raise ValueError(
+                f"expected {bitplane.num_words(trials)} packed words for "
+                f"{trials} trials, got {planes.shape[2]}"
+            )
+        return planes
 
-__all__ = ["BatchDecodeResult", "Decoder", "DecodeResult"]
+    def decode_batch_packed(
+        self, detections: np.ndarray, trials: int
+    ) -> PackedBatchDecodeResult:
+        """Decode a batch given as packed trial bitplanes.
+
+        Args:
+            detections: uint64 tensor of shape ``(rounds, num_ancillas,
+                words)`` in the trials-major layout of
+                :mod:`repro.bitplane` (padding bits of the ragged last word
+                must be zero).
+            trials: the number of real trials packed into the planes.
+
+        The base implementation unpacks, delegates to :meth:`decode_batch`,
+        and re-packs the corrections — semantics, including RNG-free
+        tie-breaks, are therefore exactly :meth:`decode_batch`'s.  Decoders
+        with a native packed path (:class:`repro.clique.cascade.DecoderCascade`)
+        override it and must stay bit-identical to this reference; the packed
+        Monte-Carlo engine's equivalence guarantee depends on it.
+        """
+        planes = self._as_packed_detection_batch(detections, trials)
+        result = self.decode_batch(bitplane.unpack_trials(planes, trials))
+        return PackedBatchDecodeResult(
+            corrections=bitplane.pack_trials(result.corrections),
+            trials=trials,
+            onchip_rounds=result.onchip_rounds,
+            total_rounds=result.total_rounds,
+            tier_trials=result.tier_trials,
+            tier_rounds=result.tier_rounds,
+        )
+
+
+__all__ = ["BatchDecodeResult", "Decoder", "DecodeResult", "PackedBatchDecodeResult"]

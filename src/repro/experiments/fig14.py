@@ -140,7 +140,11 @@ def _memory_point_config(
     defaults are resolved (rounds to the code distance, the sharded engine's
     chunk size to :data:`~repro.simulation.shard.DEFAULT_SHARD_TRIALS`) so
     implicit and explicit spellings key identically, and ``workers`` is
-    excluded because it never affects the counts.
+    excluded because it never affects the counts.  ``packed`` is excluded
+    for the same reason: the bitplane hot path is bit-identical to the
+    unpacked one under the same seed, so a sweep computed either way is a
+    warm hit for the other (pinned in
+    ``tests/experiments/test_store_resume.py``).
 
     Cascade topology participates in the key through the resolved tier
     names: a two-tier cascade keeps the historical ``"fallback"`` spelling
@@ -196,6 +200,7 @@ def run(
     force: bool = False,
     max_retries: int | None = None,
     shard_timeout: float | None = None,
+    packed: bool = True,
 ) -> ExperimentResult:
     """Reproduce the Fig. 14 comparison (baseline vs Clique + fallback).
 
@@ -250,6 +255,10 @@ def run(
         shard_timeout: wall-clock budget per shard attempt in seconds for
             the sharded engine; a hung worker pool is killed and the shard
             re-dispatched.  Rejected on non-sharded engines.
+        packed: run the batch/sharded engines on the uint64 bitplane hot
+            path (default; the CLI's ``--no-packed`` turns it off).
+            Bit-identical either way, so the flag is deliberately absent
+            from the store key.
     """
     budget, distances, engine = _resolve_scale(scale, trials, distances, engine)
     if target_ci_width is not None:
@@ -309,6 +318,7 @@ def run(
                         workers=workers,
                         chunk_trials=chunk_trials,
                         faults=faults,
+                        packed=packed,
                         adaptive=stop,
                         checkpoint=(
                             cache.checkpoint(config, base_seed)
@@ -377,6 +387,7 @@ def compare_fallbacks(
     workers: int | None = None,
     fallback: str | None = None,
     tiers: str | tuple[str, ...] | None = None,
+    packed: bool = True,
 ) -> ExperimentResult:
     """Accuracy/throughput of the hierarchy's off-chip cascades side by side.
 
@@ -425,6 +436,7 @@ def compare_fallbacks(
                 decoder_name=_cascade_label(spec),
                 engine=engine,
                 workers=workers,
+                packed=packed,
             )
             elapsed = time.perf_counter() - start
             rows.append(

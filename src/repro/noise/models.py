@@ -13,11 +13,18 @@ import abc
 
 import numpy as np
 
+from repro import bitplane
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.exceptions import InvalidProbabilityError
 from repro.noise.events import CycleErrors, vector_to_errors
 from repro.noise.rng import make_rng
 from repro.types import StabilizerType
+
+#: Trials sampled per packing tile in :meth:`NoiseModel.sample_history_packed`.
+#: One word of trials at a time keeps the transient float64 uniform tensor at
+#: ``64 * rounds * (data + ancilla) * 8`` bytes — cache-sized even at d=17 —
+#: while staying word-aligned so each tile fills exactly one packed word.
+PACKED_SAMPLE_TILE = bitplane.WORD_BITS
 
 
 def _validate_probability(name: str, value: float) -> float:
@@ -143,6 +150,63 @@ class NoiseModel(abc.ABC):
             uniform[..., num_data:] < self.measurement_error_rate
         ).astype(np.uint8)
         return data_errors, measurement_flips
+
+    def sample_history_packed(
+        self,
+        code: RotatedSurfaceCode,
+        stype: StabilizerType,
+        trials: int,
+        rounds: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample error histories directly into uint64 bitplanes.
+
+        Returns ``(data_planes, flip_planes)`` with shapes
+        ``(rounds, num_data_qubits, words)`` and ``(rounds, num_ancillas,
+        words)`` where ``words = ceil(trials / 64)`` — exactly
+        ``bitplane.pack_trials`` applied to :meth:`sample_history`'s output,
+        including the zero-padded ragged last word.
+
+        Stream compatibility: the fast path draws the same uniforms in the
+        same C order as :meth:`sample_history`, tiled 64 trials at a time
+        (tiling along the leading trial axis slices the stream without
+        reordering it), so packed and unpacked sampling of the same generator
+        state are bit-identical.  Subclasses that override any sampling hook
+        fall back to :meth:`sample_history` + pack, mirroring that method's
+        own per-vector fallback, so custom physics keeps its exact stream
+        too.
+        """
+        if (
+            type(self).sample_history is not NoiseModel.sample_history
+            or type(self).sample_data_vector is not NoiseModel.sample_data_vector
+            or type(self).sample_measurement_vector
+            is not NoiseModel.sample_measurement_vector
+        ):
+            data_errors, measurement_flips = self.sample_history(
+                code, stype, trials, rounds, rng
+            )
+            return (
+                bitplane.pack_trials(data_errors),
+                bitplane.pack_trials(measurement_flips),
+            )
+        num_data = code.num_data_qubits
+        num_ancillas = code.num_ancillas_of_type(stype)
+        words = bitplane.num_words(trials)
+        data_planes = np.zeros((rounds, num_data, words), dtype=np.uint64)
+        flip_planes = np.zeros((rounds, num_ancillas, words), dtype=np.uint64)
+        done = 0
+        while done < trials:
+            tile = min(PACKED_SAMPLE_TILE, trials - done)
+            uniform = rng.random((tile, rounds, num_data + num_ancillas))
+            word = done // bitplane.WORD_BITS
+            data_planes[:, :, word] = bitplane.pack_trials(
+                uniform[..., :num_data] < self.data_error_rate
+            )[..., 0]
+            flip_planes[:, :, word] = bitplane.pack_trials(
+                uniform[..., num_data:] < self.measurement_error_rate
+            )[..., 0]
+            done += tile
+        return data_planes, flip_planes
 
     def sample_cycle(
         self,

@@ -41,6 +41,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import bitplane
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.decoders.base import Decoder
 from repro.exceptions import ConfigurationError
@@ -73,6 +74,7 @@ def run_memory_experiment_batch(
     rng: np.random.Generator | int | None = None,
     decoder_name: str | None = None,
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    packed: bool = True,
 ):
     """Batched counterpart of :func:`repro.simulation.memory.run_memory_experiment`.
 
@@ -80,6 +82,18 @@ def run_memory_experiment_batch(
     module docstring for how the speedup is obtained.  ``chunk_trials`` caps
     how many trials are vectorised at once (chunking preserves the RNG stream
     and therefore the equivalence guarantee).
+
+    ``packed=True`` (the default) runs each chunk through the uint64
+    bitplane kernels of :mod:`repro.bitplane`: histories are sampled straight
+    into packed planes, syndromes come from XOR-parity over precomputed
+    stabilizer supports instead of the int64 matmul, the decoder triages
+    packed words through
+    :meth:`~repro.decoders.base.Decoder.decode_batch_packed`, and logical
+    failures are popcounts of XOR-reduced logical-support planes.  The packed
+    path consumes the RNG stream identically and every kernel is an exact
+    GF(2) counterpart, so results are bit-identical to ``packed=False`` —
+    the unpacked path remains the correctness oracle and escape hatch
+    (``--no-packed`` on the CLI).
     """
     # Imported lazily: memory.py re-exports this engine behind its
     # ``engine="batch"`` switch, so a module-level import would be circular.
@@ -100,6 +114,8 @@ def run_memory_experiment_batch(
     logical_bitmap = logical_support_bitmap(code, stype)
     num_data = code.num_data_qubits
     num_ancillas = code.num_ancillas_of_type(stype)
+    packed_check = bitplane.PackedParityCheck(parity_check) if packed else None
+    logical_planes = np.flatnonzero(logical_bitmap)
 
     tier_names = tuple(getattr(decoder, "tier_names", ()) or ())
     tier_trials = np.zeros(len(tier_names), dtype=np.int64)
@@ -110,27 +126,17 @@ def run_memory_experiment_batch(
     remaining = trials
     while remaining > 0:
         chunk = min(chunk_trials, remaining)
-        data_errors, flips = noise.sample_history(code, stype, chunk, rounds, generator)
-
-        # Cumulative XOR along the round axis gives the accumulated error
-        # state after each round; the parity of the running sum is the XOR.
-        accumulated = np.cumsum(data_errors, axis=1, dtype=np.int64) & 1
-        true_syndromes = (
-            (accumulated.reshape(chunk * rounds, num_data) @ parity_check.T) & 1
-        ).reshape(chunk, rounds, num_ancillas)
-
-        # Observed syndromes: measurement flips on every noisy round plus the
-        # final perfectly-read round; detection events are the difference
-        # syndrome (round 0 against the all-zero reference frame).
-        observed = np.concatenate(
-            [true_syndromes ^ flips, true_syndromes[:, -1:]], axis=1
-        )
-        detections = observed.copy()
-        detections[:, 1:] ^= observed[:, :-1]
-
-        batch_result = decoder.decode_batch(detections.astype(np.uint8))
-        residual = accumulated[:, -1].astype(np.uint8) ^ batch_result.corrections
-        failures += int(((residual.astype(np.int64) @ logical_bitmap) & 1).sum())
+        if packed:
+            batch_result, chunk_failures = _run_packed_chunk(
+                code, noise, decoder, packed_check, logical_planes,
+                chunk, rounds, stype, generator,
+            )
+        else:
+            batch_result, chunk_failures = _run_unpacked_chunk(
+                code, noise, decoder, parity_check, logical_bitmap,
+                chunk, rounds, stype, generator, num_data, num_ancillas,
+            )
+        failures += chunk_failures
         onchip_rounds += int(batch_result.onchip_rounds.sum())
         total_rounds += int(batch_result.total_rounds.sum())
         if tier_names and batch_result.tier_trials is not None:
@@ -151,6 +157,76 @@ def run_memory_experiment_batch(
         tier_trials=tuple(int(n) for n in tier_trials),
         tier_rounds=tuple(int(n) for n in tier_rounds),
     )
+
+
+def _run_unpacked_chunk(
+    code, noise, decoder, parity_check, logical_bitmap,
+    chunk, rounds, stype, generator, num_data, num_ancillas,
+):
+    """One chunk through the uint8 reference pipeline (the packed oracle).
+
+    One canonical dtype per stage: uint8 from the sampler through the
+    decoder and the residual, int64 only where the parity products widen
+    internally.  The single explicit conversion per chunk is the uint8 cast
+    of the (narrow) syndrome tensor coming out of the matmul; everything
+    downstream XORs uint8 against uint8 with no ``astype`` copies
+    (``tests/simulation/test_packed_engine.py`` bounds the allocations).
+    """
+    data_errors, flips = noise.sample_history(code, stype, chunk, rounds, generator)
+
+    # Cumulative XOR along the round axis gives the accumulated error
+    # state after each round, staying in uint8.
+    accumulated = np.bitwise_xor.accumulate(data_errors, axis=1)
+    true_syndromes = (
+        ((accumulated.reshape(chunk * rounds, num_data) @ parity_check.T) & 1)
+        .reshape(chunk, rounds, num_ancillas)
+        .astype(np.uint8)
+    )
+
+    # Observed syndromes: measurement flips on every noisy round plus the
+    # final perfectly-read round; detection events are the difference
+    # syndrome (round 0 against the all-zero reference frame).
+    observed = np.concatenate(
+        [true_syndromes ^ flips, true_syndromes[:, -1:]], axis=1
+    )
+    detections = observed.copy()
+    detections[:, 1:] ^= observed[:, :-1]
+
+    batch_result = decoder.decode_batch(detections)
+    residual = accumulated[:, -1] ^ batch_result.corrections
+    failures = int(((residual @ logical_bitmap) & 1).sum())
+    return batch_result, failures
+
+
+def _run_packed_chunk(
+    code, noise, decoder, packed_check, logical_planes,
+    chunk, rounds, stype, generator,
+):
+    """One chunk through the uint64 bitplane pipeline.
+
+    Statement-for-statement mirror of :func:`_run_unpacked_chunk` in word
+    space: XOR-accumulate along rounds, XOR-parity syndromes, packed decode,
+    and a popcount of the XOR-reduced logical-support planes for the failure
+    count.  The tail mask guards the ragged last word against decoders that
+    do not keep padding bits zero.
+    """
+    data_planes, flip_planes = noise.sample_history_packed(
+        code, stype, chunk, rounds, generator
+    )
+
+    accumulated = np.bitwise_xor.accumulate(data_planes, axis=0)
+    true_syndromes = packed_check.syndromes(accumulated)
+    observed = np.concatenate(
+        [true_syndromes ^ flip_planes, true_syndromes[-1:]], axis=0
+    )
+    detections = observed.copy()
+    detections[1:] ^= observed[:-1]
+
+    packed_result = decoder.decode_batch_packed(detections, chunk)
+    residual = accumulated[-1] ^ packed_result.corrections
+    failure_words = np.bitwise_xor.reduce(residual[logical_planes], axis=0)
+    failures = bitplane.popcount(failure_words & bitplane.trial_mask_words(chunk))
+    return packed_result, failures
 
 
 __all__ = [

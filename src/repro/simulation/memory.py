@@ -198,6 +198,7 @@ def run_memory_experiment(
     faults: object | None = None,
     fault_report: object | None = None,
     fault_injector: object | None = None,
+    packed: bool = True,
 ) -> MemoryExperimentResult:
     """Estimate the logical error rate of a decoder with Monte-Carlo trials.
 
@@ -242,6 +243,13 @@ def run_memory_experiment(
         fault_injector: optional :class:`repro.faults.FaultInjector`
             carrying a deterministic chaos plan (test mode); defaults to the
             ambient ``REPRO_FAULT_PLAN`` plan, if set.
+        packed: run the batched engines' hot path on uint64 bitplane kernels
+            (:mod:`repro.bitplane`) — the default.  ``packed=False`` is the
+            unpacked escape hatch (``--no-packed`` on the CLI); both paths
+            are bit-identical under the same seed, so this knob never changes
+            results, only throughput and peak memory.  The ``"loop"`` engine
+            decodes trial by trial and has no packed representation, so the
+            flag is accepted and ignored there.
     """
     if checkpoint is not None and adaptive is None:
         raise ConfigurationError(
@@ -271,7 +279,10 @@ def run_memory_experiment(
 
         kwargs = {} if chunk_trials is None else {"chunk_trials": chunk_trials}
         kwargs.update(
-            faults=faults, fault_report=fault_report, fault_injector=fault_injector
+            faults=faults,
+            fault_report=fault_report,
+            fault_injector=fault_injector,
+            packed=packed,
         )
         if adaptive is not None:
             return run_memory_experiment_adaptive(
@@ -314,6 +325,7 @@ def run_memory_experiment(
             stype=stype,
             rng=rng,
             decoder_name=decoder_name,
+            packed=packed,
             **kwargs,
         )
     if engine != "loop":

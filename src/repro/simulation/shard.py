@@ -435,6 +435,13 @@ class MemoryKernel:
     decoder_name, tier_names, tier_trials, tier_rounds)`` tuples — the tier
     entries are per-cascade-tier count tuples, empty for flat decoders —
     merged with :func:`merge_memory_counts`.
+
+    ``packed`` selects the batch engine's uint64 bitplane hot path inside
+    each worker (default on).  Packed and unpacked shards are bit-identical
+    under the PR 2 seeding contract — each shard replays the same
+    ``shard_rng(seed, index)`` stream either way — so the flag changes
+    neither the partial tuples nor the checkpoint layout
+    (:data:`CHECKPOINT_STATE_VERSION` is unaffected).
     """
 
     code: RotatedSurfaceCode
@@ -442,6 +449,7 @@ class MemoryKernel:
     decoder_factory: Callable[[RotatedSurfaceCode, StabilizerType], Decoder]
     rounds: int
     stype: StabilizerType
+    packed: bool = True
 
     def __call__(
         self, shard_trials: int, rng: np.random.Generator
@@ -456,6 +464,7 @@ class MemoryKernel:
             rounds=self.rounds,
             stype=self.stype,
             rng=rng,
+            packed=self.packed,
         )
         return (
             result.logical_failures,
@@ -511,6 +520,7 @@ def run_memory_experiment_sharded(
     faults: FaultPolicy | None = None,
     fault_report: FaultReport | None = None,
     fault_injector: FaultInjector | None = None,
+    packed: bool = True,
 ):
     """Sharded counterpart of :func:`repro.simulation.memory.run_memory_experiment`.
 
@@ -527,6 +537,9 @@ def run_memory_experiment_sharded(
             ``engine_degraded`` when the pool could not be constructed, and
             ``skipped_shards`` / ``skipped_trials`` (with ``trials`` reduced
             accordingly) when ``on_exhausted="skip"`` dropped shards.
+        packed: run each shard's batch kernel on the uint64 bitplane hot
+            path (default).  Bit-identical to ``packed=False`` per shard, so
+            the knob never changes the merged counts.
     """
     # Imported lazily: memory.py re-exports this engine behind its
     # ``engine="sharded"`` switch, so a module-level import would be circular.
@@ -535,7 +548,7 @@ def run_memory_experiment_sharded(
     rounds = _resolve_rounds(code, rounds)
     policy, report = _resolve_fault_args(faults, fault_report)
     failures, onchip_rounds, total_rounds, kernel_name, tier_names, tier_trials, tier_rounds = run_sharded(
-        MemoryKernel(code, noise, decoder_factory, rounds, stype),
+        MemoryKernel(code, noise, decoder_factory, rounds, stype, packed=packed),
         trials=trials,
         seed=rng,
         chunk_trials=chunk_trials,
@@ -578,6 +591,7 @@ def run_memory_experiment_adaptive(
     faults: FaultPolicy | None = None,
     fault_report: FaultReport | None = None,
     fault_injector: FaultInjector | None = None,
+    packed: bool = True,
 ):
     """Adaptive memory experiment: shards until the failure-rate CI converges.
 
@@ -588,13 +602,16 @@ def run_memory_experiment_adaptive(
     ``fault_report`` / ``fault_injector`` configure per-shard fault
     tolerance (see :func:`run_sharded`), with recovery provenance attached
     to the returned result as in :func:`run_memory_experiment_sharded`.
+    ``packed`` selects each shard's bitplane hot path (default on) and never
+    changes counts, waves, or checkpoints — packed and unpacked shards are
+    bit-identical, so a checkpoint written by either resumes under the other.
     """
     from repro.simulation.memory import MemoryExperimentResult
 
     rounds = _resolve_rounds(code, rounds)
     policy, report = _resolve_fault_args(faults, fault_report)
     run = run_sharded_adaptive(
-        MemoryKernel(code, noise, decoder_factory, rounds, stype),
+        MemoryKernel(code, noise, decoder_factory, rounds, stype, packed=packed),
         stop=stop,
         successes_of=_memory_successes,
         seed=rng,
