@@ -236,6 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--escalation-cluster-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "deep cascades (--tiers with 3+ tiers): largest cluster an "
+            "intermediate tier resolves in place before escalating just that "
+            "cluster's events to the next tier (default: adaptive per "
+            "distance; see repro.decoders.default_escalation_cluster_size)"
+        ),
+    )
+    run_parser.add_argument(
         "--no-packed",
         action="store_false",
         dest="packed",
@@ -351,6 +363,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "workers",
             "fallback",
             "tiers",
+            "escalation_cluster_size",
             "scale",
             "chunk_cycles",
             "target_ci_width",

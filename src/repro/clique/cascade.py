@@ -17,18 +17,27 @@ Tier contract
   corrections for trivial rounds, and accumulates the complex rounds'
   detection events into the trial's *off-chip window*.
 * Tiers ``1 .. N-1`` (intermediate) implement
-  ``decode_events_tiered(rounds, ancillas) -> (bitmap | None, escalated)``:
-  given one trial's off-chip events as flat index arrays, either resolve the
-  trial or hand it on — whole and untouched — to the next tier.
+  ``decode_events_tiered(rounds, ancillas) -> (bitmap, escalated)``: given
+  one trial's off-chip events as flat index arrays, resolve what it can in
+  place (the partial correction ``bitmap``) and name the *event subset* it
+  declines — ``escalated`` is a sorted int64 array of positions into the
+  input arrays (empty when fully resolved).  Escalation is per cluster, not
+  per trial: only the members of each oversized cluster travel to the next
+  tier.  The PR 5 all-or-nothing form — ``(bitmap | None, bool)`` — is still
+  accepted from custom decoder instances and normalised by the cascade.
 * Tier ``N`` (final) must resolve everything it receives, through
   ``decode_events_bitmap(rounds, ancillas)`` when available (MWPM,
-  clustering) or a per-trial ``decode`` call otherwise.
+  clustering) or a per-trial ``decode`` call on the escalated events'
+  reconstructed sub-mask otherwise.
 
-Trial subsets flow tier-to-tier as index arrays: the batched path performs a
-single ``np.nonzero`` pass over the stacked off-chip masks, then one
-``np.nonzero`` triage per tier boundary to compact the escalated subset — no
+Event subsets flow tier-to-tier as index arrays: the batched path performs a
+single ``np.nonzero`` pass over the stacked off-chip masks, then each
+off-chip trial descends the tiers with its surviving event subset — no
 per-trial Python bookkeeping beyond the unavoidable per-trial decode calls of
-the rare escalated minority.
+the rare off-chip minority.  ``tier_rounds[k]`` for ``k >= 1`` counts the
+distinct detection rounds actually shipped *into* tier ``k`` (the off-chip
+bandwidth figure): per-cluster escalation shrinks deeper tiers' share even
+when a trial technically escalates.
 
 :class:`repro.clique.hierarchical.HierarchicalDecoder` is the two-tier alias
 of this class and stays bit-compatible with the pre-cascade implementation;
@@ -57,11 +66,26 @@ from repro.decoders.matching_graph import MatchingGraph
 from repro.decoders.mwpm import DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT, MWPMDecoder
 from repro.decoders.registry import CLIQUE_TIER, resolve_tier_name
 from repro.decoders.union_find import (
-    DEFAULT_ESCALATION_CLUSTER_SIZE,
     ClusteringDecoder,
+    default_escalation_cluster_size,
 )
 from repro.exceptions import ConfigurationError
 from repro.types import Coord, DecodeLocation, StabilizerType
+
+
+def _normalize_escalation(escalated, num_events: int) -> np.ndarray:
+    """Normalise a tier's escalation result to an event-index array.
+
+    The PR 5 contract was all-or-nothing per trial: ``True`` meant "ship the
+    whole trial", ``False`` meant "fully resolved".  Custom decoder instances
+    may still return that bool; in-tree tiers return the index subset
+    directly.
+    """
+    if isinstance(escalated, (bool, np.bool_)):
+        if escalated:
+            return np.arange(num_events, dtype=np.int64)
+        return np.empty(0, dtype=np.int64)
+    return np.asarray(escalated, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -71,14 +95,21 @@ class CascadeResult:
     Attributes:
         correction: combined data-qubit correction (on-chip XOR off-chip).
         onchip_correction: the part applied by the Clique tier.
-        offchip_correction: the part applied by whichever off-chip tier
-            resolved the trial's escalated window.
+        offchip_correction: the combined correction of all off-chip tiers —
+            with per-cluster escalation, several tiers may each resolve part
+            of the window.
         round_locations: per measurement round, whether it was resolved
             on-chip or had to go off-chip.
         offchip_rounds: indices of the rounds sent off-chip.
-        handled_tier: index of the tier that produced the final correction —
-            0 when every round stayed on-chip, ``k >= 1`` when off-chip tier
-            ``k`` resolved the escalated window.
+        handled_tier: index of the deepest tier that received any of the
+            trial's events — 0 when every round stayed on-chip, ``k >= 1``
+            when off-chip tier ``k`` resolved the last escalated subset
+            (earlier off-chip tiers may have contributed partial
+            corrections along the way).
+        tier_shipped_rounds: per off-chip tier, the count of distinct
+            detection rounds shipped into it (entry ``k`` is off-chip tier
+            ``k + 1``); per-cluster escalation makes deeper entries shrink.
+            Empty when every round stayed on-chip.
         tier_names: the cascade's tier names (``("clique", ...)``).
     """
 
@@ -88,6 +119,7 @@ class CascadeResult:
     round_locations: tuple[DecodeLocation, ...]
     offchip_rounds: tuple[int, ...] = ()
     handled_tier: int = 0
+    tier_shipped_rounds: tuple[int, ...] = ()
     tier_names: tuple[str, ...] = ()
 
     @property
@@ -126,11 +158,17 @@ class DecoderCascade(Decoder):
             (2 in the paper's primary design).
         escalation_cluster_size: escalation threshold applied to named
             ``"union_find"`` tiers constructed in *intermediate* position —
-            a trial escalates when any grown cluster exceeds this many
-            events.  Instances passed directly keep their own policy.
+            each grown cluster larger than this many events escalates its
+            members to the next tier.  The default ``"auto"`` resolves to
+            :func:`repro.decoders.union_find.default_escalation_cluster_size`
+            for the code's distance (a deterministic per-distance value
+            tuned offline against measured blossom cost — never a runtime
+            timing, so seeded results stay machine-independent).  Instances
+            passed directly keep their own policy.
         boundary_clique_cache_limit: bound on the shared boundary-clique edge
             cache of named ``"mwpm"`` tiers (see
-            :class:`~repro.decoders.mwpm.MWPMDecoder`).
+            :class:`~repro.decoders.mwpm.MWPMDecoder`; only their
+            ``matcher="networkx"`` oracle path uses it).
     """
 
     def __init__(
@@ -139,10 +177,20 @@ class DecoderCascade(Decoder):
         stype: StabilizerType,
         tiers: str | Sequence["str | Decoder"] = (CLIQUE_TIER, "mwpm"),
         measurement_rounds: int = 2,
-        escalation_cluster_size: int = DEFAULT_ESCALATION_CLUSTER_SIZE,
+        escalation_cluster_size: int | str = "auto",
         boundary_clique_cache_limit: int = DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT,
     ) -> None:
         super().__init__(code, stype)
+        if escalation_cluster_size == "auto":
+            escalation_cluster_size = default_escalation_cluster_size(code.distance)
+        elif isinstance(escalation_cluster_size, bool) or not isinstance(
+            escalation_cluster_size, (int, np.integer)
+        ):
+            raise ConfigurationError(
+                f"escalation_cluster_size must be an integer or 'auto', "
+                f"got {escalation_cluster_size!r}"
+            )
+        self._escalation_cluster_size = int(escalation_cluster_size)
         if isinstance(tiers, str):
             tiers = tuple(part.strip() for part in tiers.split(","))
         else:
@@ -241,6 +289,11 @@ class DecoderCascade(Decoder):
         return self._filter.rounds
 
     @property
+    def escalation_cluster_size(self) -> int:
+        """The resolved intermediate-tier escalation threshold."""
+        return self._escalation_cluster_size
+
+    @property
     def name(self) -> str:
         if type(self) is DecoderCascade:
             return "Cascade[" + ",".join(self._tier_names) + "]"
@@ -284,22 +337,13 @@ class DecoderCascade(Decoder):
 
         offchip_correction: set[Coord] = set()
         handled_tier = 0
+        shipped: list[int] = []
         if offchip_mask.any():
             event_rounds, event_ancillas = np.nonzero(offchip_mask)
-            for tier_index, tier in enumerate(self._offchip_tiers):
-                if tier_index < len(self._offchip_tiers) - 1:
-                    bitmap, escalated = tier.decode_events_tiered(
-                        event_rounds, event_ancillas
-                    )
-                    if escalated:
-                        continue
-                    offchip_correction = self._bitmap_coords(bitmap)
-                else:
-                    # Final tier: the matrix-level decode() entry point, so
-                    # custom fallback instances see the call they expect.
-                    offchip_correction = set(tier.decode(offchip_mask).correction)
-                handled_tier = tier_index + 1
-                break
+            bitmap, handled_tier, shipped = self._cascade_trial(
+                event_rounds, event_ancillas, offchip_mask.shape
+            )
+            offchip_correction = self._bitmap_coords(bitmap)
 
         total = set(onchip_correction) ^ offchip_correction
         return CascadeResult(
@@ -309,6 +353,7 @@ class DecoderCascade(Decoder):
             round_locations=tuple(locations),
             offchip_rounds=tuple(offchip_rounds),
             handled_tier=handled_tier,
+            tier_shipped_rounds=tuple(shipped),
             tier_names=self._tier_names,
         )
 
@@ -316,6 +361,58 @@ class DecoderCascade(Decoder):
         """Convert a data-qubit correction bitmap back to coordinate form."""
         data_qubits = self._code.data_qubits
         return {data_qubits[i] for i in np.flatnonzero(bitmap)}
+
+    # ------------------------------------------------------------------
+    def _cascade_trial(
+        self,
+        event_rounds: np.ndarray,
+        event_ancillas: np.ndarray,
+        mask_shape: tuple[int, int],
+    ) -> tuple[np.ndarray, int, list[int]]:
+        """Send one trial's off-chip events down the off-chip tiers.
+
+        The single shared descent used by both :meth:`decode_history` and
+        the batched paths — which is what keeps them bit-identical.  Each
+        intermediate tier XORs its partial correction into the trial's
+        bitmap and hands the surviving event subset (oversized clusters'
+        members) to the next tier; the final tier resolves whatever reaches
+        it.  Returns ``(bitmap, handled_tier, shipped_rounds)`` where
+        ``handled_tier`` is the deepest tier reached (1-based over off-chip
+        tiers) and ``shipped_rounds[k]`` counts the distinct detection
+        rounds shipped into off-chip tier ``k`` — the per-tier bandwidth
+        figure behind ``tier_rounds``.
+        """
+        bitmap = np.zeros(self._code.num_data_qubits, dtype=np.uint8)
+        rounds = event_rounds
+        ancillas = event_ancillas
+        shipped: list[int] = []
+        handled = 0
+        last = len(self._offchip_tiers) - 1
+        for tier_index, tier in enumerate(self._offchip_tiers):
+            shipped.append(int(np.unique(rounds).size))
+            handled = tier_index + 1
+            if tier_index == last:
+                decode_events = getattr(tier, "decode_events_bitmap", None)
+                if decode_events is not None:
+                    bitmap ^= decode_events(rounds, ancillas)
+                else:
+                    # Custom final tiers see the matrix-level decode() entry
+                    # point they expect, on the escalated events' sub-mask.
+                    submask = np.zeros(mask_shape, dtype=np.uint8)
+                    submask[rounds, ancillas] = 1
+                    data_index = self._code.data_index
+                    for qubit in tier.decode(submask).correction:
+                        bitmap[data_index[qubit]] ^= 1
+                break
+            partial, escalated = tier.decode_events_tiered(rounds, ancillas)
+            escalated = _normalize_escalation(escalated, rounds.size)
+            if partial is not None:
+                bitmap ^= partial
+            if escalated.size == 0:
+                break
+            rounds = rounds[escalated]
+            ancillas = ancillas[escalated]
+        return bitmap, handled, shipped
 
     # ------------------------------------------------------------------
     def decode_batch(self, histories: np.ndarray) -> BatchDecodeResult:
@@ -385,7 +482,6 @@ class DecoderCascade(Decoder):
         if offchip_trials.size:
             corrections[offchip_trials] ^= self._offchip_corrections(
                 offchip_mask[offchip_trials],
-                offchip_round_counts[offchip_trials],
                 tier_trials,
                 tier_rounds,
             )
@@ -482,7 +578,6 @@ class DecoderCascade(Decoder):
                 offchip_trials,
                 self._offchip_corrections(
                     masks,
-                    offchip_round_counts[offchip_trials],
                     tier_trials,
                     tier_rounds,
                 ),
@@ -501,7 +596,6 @@ class DecoderCascade(Decoder):
     def _offchip_corrections(
         self,
         masks: np.ndarray,
-        round_counts: np.ndarray,
         tier_trials: np.ndarray,
         tier_rounds: np.ndarray,
     ) -> np.ndarray:
@@ -511,57 +605,32 @@ class DecoderCascade(Decoder):
         trial's event list at once — in the same row-major
         ``(round, ancilla)`` order a per-trial ``np.nonzero`` would produce,
         which keeps equal-weight tie-breaks, and therefore results,
-        bit-identical to per-trial decoding.  Intermediate tiers either
-        resolve a trial or flag it; one boolean ``np.nonzero`` per tier
-        boundary then compacts the escalated subset handed to the next tier.
-        The final tier decodes through ``decode_events_bitmap`` when it has
-        one and a per-trial :meth:`~repro.decoders.base.Decoder.decode` loop
-        otherwise.  ``tier_trials``/``tier_rounds`` are updated in place
-        (tier 0 entries are the caller's).
+        bit-identical to per-trial decoding.  Each trial then descends the
+        tiers via :meth:`_cascade_trial`: intermediate tiers resolve small
+        clusters in place and escalate only oversized clusters' event
+        subsets, the final tier resolves the rest.
+        ``tier_trials``/``tier_rounds`` are updated in place (tier 0 entries
+        are the caller's): trials count toward the deepest tier they
+        reached, rounds toward every tier their events were shipped into.
         """
         num_trials = masks.shape[0]
         corrections = np.zeros((num_trials, self._code.num_data_qubits), dtype=np.uint8)
         trial_ids, rounds, ancillas = np.nonzero(masks)
         bounds = np.searchsorted(trial_ids, np.arange(num_trials + 1))
-        current = np.arange(num_trials)
+        mask_shape = masks.shape[1:]
 
-        for tier_index, tier in enumerate(self._offchip_tiers):
-            tier_rounds[tier_index + 1] += int(round_counts[current].sum())
-            if tier_index == len(self._offchip_tiers) - 1:
-                tier_trials[tier_index + 1] += current.size
-                decode_events = getattr(tier, "decode_events_bitmap", None)
-                if decode_events is None:
-                    data_index = self._code.data_index
-                    for trial in current:
-                        for qubit in tier.decode(masks[trial]).correction:
-                            corrections[trial, data_index[qubit]] ^= 1
-                    break
-                for trial in current:
-                    start, end = bounds[trial], bounds[trial + 1]
-                    if start == end:
-                        continue
-                    corrections[trial] = decode_events(
-                        rounds[start:end], ancillas[start:end]
-                    )
-                break
-
-            escalated = np.zeros(current.size, dtype=bool)
-            for position, trial in enumerate(current):
-                start, end = bounds[trial], bounds[trial + 1]
-                if start == end:
-                    continue
-                bitmap, escalate = tier.decode_events_tiered(
-                    rounds[start:end], ancillas[start:end]
-                )
-                if escalate:
-                    escalated[position] = True
-                else:
-                    corrections[trial] = bitmap
-            tier_trials[tier_index + 1] += current.size - int(escalated.sum())
-            # The one triage per tier boundary: compact the escalation set.
-            current = current[np.nonzero(escalated)[0]]
-            if current.size == 0:
-                break
+        for trial in range(num_trials):
+            start, end = bounds[trial], bounds[trial + 1]
+            if start == end:  # pragma: no cover - off-chip trials have events
+                tier_trials[1] += 1
+                continue
+            bitmap, handled, shipped = self._cascade_trial(
+                rounds[start:end], ancillas[start:end], mask_shape
+            )
+            corrections[trial] = bitmap
+            tier_trials[handled] += 1
+            for offset, count in enumerate(shipped):
+                tier_rounds[1 + offset] += count
         return corrections
 
     # ------------------------------------------------------------------
@@ -576,6 +645,7 @@ class DecoderCascade(Decoder):
                 "num_rounds": result.num_rounds,
                 "onchip_fraction": result.onchip_fraction,
                 "handled_tier": result.handled_tier,
+                "tier_shipped_rounds": result.tier_shipped_rounds,
             },
         )
 

@@ -7,15 +7,19 @@ test suite.
 """
 
 from repro.decoders.base import BatchDecodeResult, Decoder, DecodeResult
+from repro.decoders.blossom import match_events
 from repro.decoders.lookup import LookupDecoder
 from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
-from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.mwpm import SUBSET_DP_MAX_EVENTS, MWPMDecoder
 from repro.decoders.registry import (
     TIER_DECODERS,
     resolve_tier_spec,
     tier_decoder_names,
 )
-from repro.decoders.union_find import ClusteringDecoder
+from repro.decoders.union_find import (
+    ClusteringDecoder,
+    default_escalation_cluster_size,
+)
 
 __all__ = [
     "BatchDecodeResult",
@@ -26,7 +30,10 @@ __all__ = [
     "MWPMDecoder",
     "ClusteringDecoder",
     "LookupDecoder",
+    "SUBSET_DP_MAX_EVENTS",
     "TIER_DECODERS",
+    "match_events",
+    "default_escalation_cluster_size",
     "resolve_tier_spec",
     "tier_decoder_names",
 ]

@@ -121,10 +121,16 @@ class Decoder(abc.ABC):
       row-major ``(round, ancilla)`` order (the order ``np.nonzero``
       produces, which fixes equal-weight tie-breaks).  Decoders without it
       are decoded per trial through :meth:`decode`.
-    * ``decode_events_tiered(rounds, ancillas) -> (bitmap | None, bool)`` —
-      decode-or-escalate for *intermediate* cascade tiers: either handle the
-      trial (``(bitmap, False)``) or defer it untouched to the next tier
-      (``(None, True)``).  A tier without this hook can only sit last in a
+    * ``decode_events_tiered(rounds, ancillas) -> (bitmap, escalated)`` —
+      decode-or-escalate for *intermediate* cascade tiers: resolve what the
+      tier can in place (the partial correction ``bitmap``) and return the
+      sorted int64 array of event positions it declines (``escalated``,
+      indices into the input arrays; empty when fully resolved).  Escalation
+      is per cluster, not per trial — only oversized clusters' members
+      travel on.  The cascade also still accepts the legacy PR 5
+      all-or-nothing form ``(bitmap | None, bool)`` from custom decoder
+      instances (``True`` = ship every event, ``False`` = fully resolved).
+      A tier without this hook can only sit last in a
       :class:`~repro.clique.cascade.DecoderCascade`.
     """
 

@@ -5,30 +5,35 @@ that the total length of the implied error chains is minimal, which under an
 independent-error model is the most probable explanation of the observed
 syndrome (Dennis et al., "Topological quantum memory").
 
-The implementation builds the standard auxiliary graph:
+Large event sets are solved by the in-tree O(n^3) blossom matcher
+(:mod:`repro.decoders.blossom`): boundary copies are handled *implicitly*
+through a profit transformation, so the matcher runs on ``n`` event nodes
+instead of the ``2n``-node auxiliary graph the networkx formulation needed.
+
+Small event sets — the common case for the hierarchy's off-chip fallback,
+which only ever sees the rare complex rounds — skip general matching
+entirely: an exact subset-DP over pair/boundary assignments finds the same
+minimum-total-distance solution in microseconds.
+
+networkx is *not* a runtime dependency anymore.  ``matcher="networkx"``
+keeps the legacy auxiliary-graph path available (lazy import) as a
+differential-test oracle and as the pre-blossom baseline for benchmarking:
 
 * one node per detection event, plus one *boundary copy* per event;
 * event-event edges weighted by (negative) space-time distance;
 * event-to-own-boundary-copy edges weighted by (negative) boundary distance;
-* boundary-copy-to-boundary-copy edges of weight zero, so unused copies can
-  pair among themselves;
+* boundary-copy-to-boundary-copy edges of weight zero (cached per event
+  count, LRU), so unused copies can pair among themselves;
 
-and solves it with :func:`networkx.max_weight_matching` (blossom algorithm)
-with ``maxcardinality=True``, which yields a minimum-total-distance perfect
-matching.
-
-Small event sets — the common case for the hierarchy's off-chip fallback,
-which only ever sees the rare complex rounds — skip the auxiliary graph
-entirely: an exact subset-DP over pair/boundary assignments finds the same
-minimum-total-distance solution in microseconds.
+solved with ``networkx.max_weight_matching(maxcardinality=True)``.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import networkx as nx
 
 from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.decoders import blossom
 from repro.decoders.base import Decoder, DecodeResult
 from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
 from repro.exceptions import ConfigurationError, DecodingError
@@ -37,6 +42,12 @@ from repro.types import StabilizerType
 #: Default bound on how many distinct event counts keep their boundary-clique
 #: edge lists cached (see ``boundary_clique_cache_limit``).
 DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT = 16
+
+#: Hard cap on the subset-DP's event count.  The DP tables are O(2^n), so a
+#: caller-supplied threshold in the mid-30s would attempt a multi-GB
+#: allocation; beyond this cap callers must route to the polynomial blossom
+#: matcher instead (:func:`repro.decoders.blossom.match_events`).
+SUBSET_DP_MAX_EVENTS = 16
 
 
 def match_events_small(
@@ -59,8 +70,18 @@ def match_events_small(
     pathological all-zero-distance case therefore yields one canonical
     assignment — every event to the boundary — so sharded and unsharded
     runs can never diverge on equal-weight choices.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` beyond
+    :data:`SUBSET_DP_MAX_EVENTS` events instead of attempting the O(2^n)
+    table allocation.
     """
     num = len(boundary_distance)
+    if num > SUBSET_DP_MAX_EVENTS:
+        raise ConfigurationError(
+            f"match_events_small is O(2^n) and capped at "
+            f"SUBSET_DP_MAX_EVENTS={SUBSET_DP_MAX_EVENTS} events, got {num}; "
+            f"route larger sets to repro.decoders.blossom.match_events"
+        )
     full = (1 << num) - 1
     best = [0] * (full + 1)
     choice: list[tuple[int, int]] = [(-1, -1)] * (full + 1)
@@ -104,15 +125,21 @@ class MWPMDecoder(Decoder):
         matching_graph: optionally share a precomputed :class:`MatchingGraph`
             (they are deterministic per ``(code, stype)``).
         boundary_clique_cache_limit: how many distinct event counts retain
-            their zero-weight boundary-clique edge lists; rarer counts are
-            rebuilt on demand so the cache cannot grow unboundedly over a
-            long sharded run.  Deep-history workloads with a wide spread of
-            event counts can raise it.
+            their zero-weight boundary-clique edge lists (LRU; only the
+            ``matcher="networkx"`` oracle path builds cliques); rarer counts
+            are rebuilt on demand so the cache cannot grow unboundedly over
+            a long sharded run.
         boundary_clique_cache: optionally share one cache dict across several
             decoder instances — the edge lists depend only on the event
             count, so tiers of a :class:`~repro.clique.cascade.DecoderCascade`
             built on the same :class:`MatchingGraph` share a single cache
             instead of each warming its own.
+        matcher: which solver handles event sets beyond the subset-DP limit.
+            ``"blossom"`` (the default) is the in-tree O(n^3) matcher with
+            implicit boundary handling; ``"networkx"`` is the legacy
+            auxiliary-graph path, kept as an optional differential-test
+            oracle and pre-blossom benchmark baseline (imports networkx
+            lazily, on first use).
     """
 
     def __init__(
@@ -122,6 +149,7 @@ class MWPMDecoder(Decoder):
         matching_graph: MatchingGraph | None = None,
         boundary_clique_cache_limit: int = DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT,
         boundary_clique_cache: dict[int, list] | None = None,
+        matcher: str = "blossom",
     ) -> None:
         super().__init__(code, stype)
         self._graph = matching_graph or MatchingGraph(code, stype)
@@ -130,12 +158,21 @@ class MWPMDecoder(Decoder):
                 f"boundary_clique_cache_limit must be >= 0, "
                 f"got {boundary_clique_cache_limit}"
             )
+        if matcher not in ("blossom", "networkx"):
+            raise ConfigurationError(
+                f"matcher must be 'blossom' or 'networkx', got {matcher!r}"
+            )
+        self._matcher = matcher
         self._boundary_clique_cache_limit = boundary_clique_cache_limit
         # The zero-weight boundary-copy clique depends only on the event
         # count, so the edge lists are built once per count and reused.
         self._boundary_clique_cache: dict[int, list] = (
             {} if boundary_clique_cache is None else boundary_clique_cache
         )
+
+    @property
+    def matcher(self) -> str:
+        return self._matcher
 
     @property
     def matching_graph(self) -> MatchingGraph:
@@ -213,22 +250,34 @@ class MWPMDecoder(Decoder):
 
     def _boundary_clique_edges(self, num: int) -> list:
         """Zero-weight clique among the ``num`` boundary copies (nodes
-        ``num .. 2 * num - 1``), cached for the most common event counts."""
-        edges = self._boundary_clique_cache.get(num)
-        if edges is None:
-            edges = [
-                (num + i, num + j, 0)
-                for i in range(num)
-                for j in range(i + 1, num)
-            ]
-            if len(self._boundary_clique_cache) < self._boundary_clique_cache_limit:
-                self._boundary_clique_cache[num] = edges
+        ``num .. 2 * num - 1``), LRU-cached for the most common event counts.
+
+        Only the ``matcher="networkx"`` oracle path builds boundary cliques;
+        the blossom matcher handles the boundary implicitly.  A hit moves the
+        count to the back of the insertion order, an insert at capacity
+        evicts the least-recently-used count, so a long sweep whose
+        event-count distribution drifts cannot pin cold entries forever.
+        """
+        cache = self._boundary_clique_cache
+        edges = cache.get(num)
+        if edges is not None:
+            cache[num] = cache.pop(num)  # move-to-end: mark most recently used
+            return edges
+        edges = [
+            (num + i, num + j, 0)
+            for i in range(num)
+            for j in range(i + 1, num)
+        ]
+        if self._boundary_clique_cache_limit > 0:
+            while len(cache) >= self._boundary_clique_cache_limit:
+                cache.pop(next(iter(cache)))  # evict least recently used
+            cache[num] = edges
         return edges
 
     def _match_indices(
         self, ancillas: np.ndarray, rounds: np.ndarray
     ) -> tuple[list[tuple[int, int]], list[int]]:
-        """Solve the auxiliary matching problem on flat event-index arrays.
+        """Solve the event/boundary matching problem on flat event-index arrays.
 
         Both decode entry points (per-trial :meth:`decode` and the batched
         :meth:`decode_events_bitmap`) funnel through here, which is what
@@ -236,15 +285,41 @@ class MWPMDecoder(Decoder):
         """
         num = int(ancillas.size)
         # All pairwise space-time distances in two vectorised gathers.
-        distance = (
-            self._graph.spatial_distance_matrix[np.ix_(ancillas, ancillas)]
-            + np.abs(rounds[:, None] - rounds[None, :])
-        ).tolist()
-        boundary_distance = self._graph.boundary_distance_array[ancillas].tolist()
+        distance = self._graph.spatial_distance_matrix[
+            np.ix_(ancillas, ancillas)
+        ] + np.abs(rounds[:, None] - rounds[None, :])
+        boundary_distance = self._graph.boundary_distance_array[ancillas]
 
         if num <= self._SMALL_CASE_LIMIT:
-            return self._match_small(distance, boundary_distance)
+            return self._match_small(distance.tolist(), boundary_distance.tolist())
+        if self._matcher == "networkx":
+            return self._match_indices_networkx(
+                distance.tolist(), boundary_distance.tolist(), ancillas, rounds
+            )
+        return blossom.match_events(distance, boundary_distance)
 
+    def _match_indices_networkx(
+        self,
+        distance: list[list[int]],
+        boundary_distance: list[int],
+        ancillas: np.ndarray,
+        rounds: np.ndarray,
+    ) -> tuple[list[tuple[int, int]], list[int]]:
+        """Legacy auxiliary-graph path via ``networkx.max_weight_matching``.
+
+        Kept as an optional differential-test oracle and as the pre-blossom
+        baseline for benchmarking; networkx is imported lazily so the default
+        decode path never touches it.
+        """
+        try:
+            import networkx as nx
+        except ImportError as exc:  # pragma: no cover - env without networkx
+            raise ConfigurationError(
+                "matcher='networkx' requires the optional networkx package; "
+                "the default matcher='blossom' has no such dependency"
+            ) from exc
+
+        num = len(boundary_distance)
         # Auxiliary blossom graph on integer nodes: event ``i`` is node ``i``,
         # its boundary copy is node ``num + i``.
         edges = [(i, num + i, -boundary_distance[i]) for i in range(num)]
@@ -258,8 +333,13 @@ class MWPMDecoder(Decoder):
         matching = nx.max_weight_matching(graph, maxcardinality=True)
         matched_nodes = {node for pair in matching for node in pair}
         if len(matched_nodes) != 2 * num:
+            coords = list(zip(rounds.tolist(), np.asarray(ancillas).tolist()))
             raise DecodingError(
-                f"matching is not perfect: {len(matched_nodes)} of {2 * num} nodes matched"
+                f"matching is not perfect: {len(matched_nodes)} of "
+                f"{2 * num} nodes matched; decoder="
+                f"{type(self).__name__}(distance={self._code.distance}, "
+                f"stype={self._stype.name}, matcher={self._matcher!r}); "
+                f"events as (round, ancilla_index) pairs: {coords}"
             )
 
         pairs: list[tuple[int, int]] = []
@@ -292,4 +372,9 @@ class MWPMDecoder(Decoder):
         )
 
 
-__all__ = ["DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT", "MWPMDecoder", "match_events_small"]
+__all__ = [
+    "DEFAULT_BOUNDARY_CLIQUE_CACHE_LIMIT",
+    "MWPMDecoder",
+    "SUBSET_DP_MAX_EVENTS",
+    "match_events_small",
+]

@@ -5,7 +5,10 @@ e.g. ``("clique", "union_find", "mwpm")`` or the comma-separated CLI form
 ``"clique,union_find,mwpm"``.  The first tier is always the on-chip Clique
 front-end (it owns the round-by-round persistence filtering and triage and is
 constructed by :class:`repro.clique.cascade.DecoderCascade` itself); every
-later tier names an off-chip decoder class registered here.
+later tier names an off-chip decoder class registered here.  Intermediate
+tiers must expose the per-cluster escalation hook ``decode_events_tiered``
+(see :class:`repro.decoders.base.Decoder`); the final tier only needs a
+decode path.
 
 The registry lives in :mod:`repro.decoders` (not :mod:`repro.clique`) so the
 spec can be validated *eagerly* — at CLI-argument and experiment-config time —

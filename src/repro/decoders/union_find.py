@@ -19,20 +19,39 @@ from __future__ import annotations
 import numpy as np
 
 from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.decoders import blossom
 from repro.decoders.base import Decoder, DecodeResult
 from repro.decoders.matching_graph import MatchingGraph, SpaceTimeEvent
-from repro.decoders.mwpm import match_events_small
+from repro.decoders.mwpm import SUBSET_DP_MAX_EVENTS, match_events_small
 from repro.exceptions import ConfigurationError
 from repro.types import Coord, StabilizerType
 
-#: Default escalation threshold used when the clustering decoder sits as an
-#: *intermediate* cascade tier.  Intermediate-tier clusters are resolved with
-#: the exact subset-DP matcher (cheap at cluster scale: the DP is exponential
-#: in the *cluster* size, not the trial's event count), so the threshold can
-#: sit at the DP's own practical limit: only trials containing a sprawling
-#: cluster beyond it — the cases where global blossom-grade matching actually
-#: earns its cost — escalate to the next tier.
+#: Default (floor) escalation threshold used when the clustering decoder sits
+#: as an *intermediate* cascade tier.  Intermediate-tier clusters up to
+#: :data:`~repro.decoders.mwpm.SUBSET_DP_MAX_EVENTS` are resolved with the
+#: exact subset-DP matcher (cheap at cluster scale: the DP is exponential in
+#: the *cluster* size, not the trial's event count), larger kept clusters by
+#: the in-tree blossom matcher; only the members of clusters beyond the
+#: threshold — the cases where global blossom-grade matching actually earns
+#: its cost — escalate to the next tier.
 DEFAULT_ESCALATION_CLUSTER_SIZE = 8
+
+_NO_ESCALATION = np.empty(0, dtype=np.int64)
+
+
+def default_escalation_cluster_size(distance: int) -> int:
+    """Adaptive per-distance escalation threshold for intermediate tiers.
+
+    Tuned offline against measured in-tree blossom cost (the `blossom`
+    section of ``BENCH_memory.json``): deeper codes produce larger *benign*
+    clusters whose exact local resolution is still far cheaper than shipping
+    their events to the final blossom tier, so the threshold grows with
+    distance — ``d + 3``, floored at :data:`DEFAULT_ESCALATION_CLUSTER_SIZE`
+    and capped at the subset-DP limit (d=3 -> 8, d=7 -> 10, d=13 -> 16).
+    Deliberately a *deterministic function of the distance*, never a runtime
+    timing measurement, so seeded results stay machine-independent.
+    """
+    return min(SUBSET_DP_MAX_EVENTS, max(DEFAULT_ESCALATION_CLUSTER_SIZE, distance + 3))
 
 
 class _DisjointSets:
@@ -67,16 +86,18 @@ class ClusteringDecoder(Decoder):
         stype: which stabilizer type's detection events this decoder handles.
         matching_graph: optionally share a precomputed :class:`MatchingGraph`.
         escalation_cluster_size: when set, enables the *intermediate-tier*
-            mode used by :class:`~repro.clique.cascade.DecoderCascade`: a
-            trial whose grown clusters all hold at most this many events is
-            resolved here — each cluster matched *exactly* by the subset-DP
-            matcher, which is exponential in the cluster size only — while
-            any larger cluster escalates the whole trial, untouched, to the
-            next tier via :meth:`decode_events_tiered`.  ``None`` (the
-            default) never escalates, i.e. final-tier behaviour with the
-            decoder's classic greedy intra-cluster pairing; :meth:`decode`
-            and :meth:`decode_events_bitmap` always resolve everything
-            regardless of this setting.
+            mode used by :class:`~repro.clique.cascade.DecoderCascade`: every
+            grown cluster holding at most this many events is resolved here,
+            matched *exactly* — by the subset-DP matcher up to
+            :data:`~repro.decoders.mwpm.SUBSET_DP_MAX_EVENTS` events, by the
+            in-tree blossom matcher beyond it — while each larger cluster
+            escalates only its own members (an index subset of the trial's
+            events, not the whole trial) to the next tier via
+            :meth:`decode_events_tiered`.  ``None`` (the default) never
+            escalates, i.e. final-tier behaviour with the decoder's classic
+            greedy intra-cluster pairing; :meth:`decode` and
+            :meth:`decode_events_bitmap` always resolve everything regardless
+            of this setting.
     """
 
     def __init__(
@@ -142,22 +163,28 @@ class ClusteringDecoder(Decoder):
 
     def decode_events_tiered(
         self, rounds: np.ndarray, ancillas: np.ndarray
-    ) -> tuple[np.ndarray | None, bool]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Intermediate-tier decode-or-escalate over flat event index arrays.
 
-        Returns ``(bitmap, False)`` when every grown cluster holds at most
-        ``escalation_cluster_size`` events (or escalation is disabled), and
-        ``(None, True)`` — the trial untouched — otherwise.  The escalation
-        test runs *during* cluster growth, so it keys on the actual
-        space-time structure of the trial, not the raw event count: many
-        well-separated small clusters stay here (each resolved exactly by
-        the subset-DP matcher), one sprawling cluster escalates.
+        Returns ``(bitmap, escalated)``: ``bitmap`` is the correction for
+        every grown cluster holding at most ``escalation_cluster_size``
+        events — each resolved *exactly* in place — and ``escalated`` is the
+        sorted int64 array of event positions (indices into the caller's
+        ``rounds``/``ancillas``) belonging to larger clusters, which the
+        caller ships to the next tier.  An empty ``escalated`` means the
+        trial is fully resolved here.
+
+        Escalation is *per cluster*, not per trial: a trial with many small
+        clusters and one sprawling one keeps the small clusters' corrections
+        in this tier and escalates only the sprawling cluster's own events.
+        The decision keys on the actual space-time structure of the trial
+        (grown cluster sizes), not the raw event count.
         """
         return self._decode_events_indices(rounds, ancillas, may_escalate=True)
 
     def _decode_events_indices(
         self, rounds: np.ndarray, ancillas: np.ndarray, may_escalate: bool
-    ) -> tuple[np.ndarray | None, bool]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Shared index-based decode path (no event objects on the hot path).
 
         Cluster growth and greedy resolution run on plain int lists plus the
@@ -168,12 +195,12 @@ class ClusteringDecoder(Decoder):
         ancilla_list = np.asarray(ancillas, dtype=np.int64).tolist()
         count = len(ancilla_list)
         if count == 0:
-            return np.zeros(self._code.num_data_qubits, dtype=np.uint8), False
+            return np.zeros(self._code.num_data_qubits, dtype=np.uint8), _NO_ESCALATION
         boundary_paths = self._graph.boundary_path_bitmaps
         if count == 1:
             # A lone event always grows to the boundary and resolves there;
             # size-1 clusters never exceed an escalation threshold (>= 1).
-            return boundary_paths[ancilla_list[0]].copy(), False
+            return boundary_paths[ancilla_list[0]].copy(), _NO_ESCALATION
         round_list = np.asarray(rounds, dtype=np.int64).tolist()
         spatial_rows = self._spatial_distance_rows
         pair_distance = [
@@ -187,30 +214,35 @@ class ClusteringDecoder(Decoder):
         ]
         boundary_distance = [self._boundary_distance_list[a] for a in ancilla_list]
         threshold = self._escalation_cluster_size
-        clusters, _ = self._grow_clusters_core(
-            pair_distance,
-            boundary_distance,
-            abort_above=threshold if may_escalate and threshold is not None else None,
-        )
-        if clusters is None:
-            return None, True
+        clusters, _ = self._grow_clusters_core(pair_distance, boundary_distance)
 
         bitmap = np.zeros(self._code.num_data_qubits, dtype=np.uint8)
         spatial_paths = self._graph.spatial_path_bitmaps
         exact = may_escalate and threshold is not None
+        escalated: list[int] = []
         for members in clusters:
             if exact:
+                if len(members) > threshold:
+                    # Oversized cluster: escalate its members only — the
+                    # rest of the trial resolves right here.
+                    escalated.extend(members)
+                    continue
                 # Intermediate-tier mode: clusters small enough to stay here
-                # are resolved *exactly* with the subset-DP matcher — the DP
-                # is exponential in the cluster size only, so this is cheap
-                # where global matching over the whole trial would not be.
+                # are resolved *exactly* — subset-DP while the O(2^n) tables
+                # stay tiny, in-tree blossom for larger kept clusters (the
+                # DP's hard cap is SUBSET_DP_MAX_EVENTS).
                 sub_distance = [
                     [pair_distance[i][j] for j in members] for i in members
                 ]
                 sub_boundary = [boundary_distance[i] for i in members]
-                pairs, boundary_matches = match_events_small(
-                    sub_distance, sub_boundary
-                )
+                if len(members) <= SUBSET_DP_MAX_EVENTS:
+                    pairs, boundary_matches = match_events_small(
+                        sub_distance, sub_boundary
+                    )
+                else:
+                    pairs, boundary_matches = blossom.match_events(
+                        sub_distance, sub_boundary
+                    )
                 for i, j in pairs:
                     bitmap ^= spatial_paths[
                         ancilla_list[members[i]], ancilla_list[members[j]]
@@ -234,7 +266,13 @@ class ClusteringDecoder(Decoder):
                 partner = min(remaining, key=lambda other: row[other])
                 remaining.remove(partner)
                 bitmap ^= spatial_paths[ancilla_list[event], ancilla_list[partner]]
-        return bitmap, False
+        if not escalated:
+            return bitmap, _NO_ESCALATION
+        # Escalated subsets must preserve the row-major event order the
+        # caller's np.nonzero produced — downstream tiers' equal-weight
+        # tie-breaks depend on it.
+        escalated.sort()
+        return bitmap, np.asarray(escalated, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def _grow_clusters(
@@ -264,26 +302,19 @@ class ClusteringDecoder(Decoder):
         self,
         pair_distance: list[list[int]],
         boundary_distance: list[int],
-        abort_above: int | None = None,
-    ) -> tuple[list[list[int]] | None, int]:
+    ) -> tuple[list[list[int]], int]:
         """Grow clusters over precomputed distance tables (plain int lists).
 
         Purely functional: all growth state (radii, distances) is local, so
         the decoder instance stays stateless and safe to share across
-        threads.
-
-        ``abort_above`` is the escalating caller's shortcut: cluster sizes
-        only ever grow, so the moment a merge produces a cluster larger than
-        the threshold the final decomposition is guaranteed to contain one
-        too — growth stops immediately and ``(None, steps)`` is returned,
-        yielding exactly the escalation decision full growth would reach
-        while skipping its remaining O(n^2) merge rounds.
+        threads.  Growth always runs to neutrality: per-cluster escalation
+        needs the *final* cluster decomposition (to resolve the small
+        clusters and name the oversized ones' members), so there is no
+        early-abort shortcut anymore.
         """
         count = len(boundary_distance)
         sets = _DisjointSets(count)
         radius = [0] * count  # per-event growth radius; cluster radius is the max
-        # No component can outgrow the event count, so ``count`` disables the abort.
-        abort_limit = abort_above if abort_above is not None else count
 
         def cluster_members() -> dict[int, list[int]]:
             members: dict[int, list[int]] = {}
@@ -318,8 +349,7 @@ class ClusteringDecoder(Decoder):
                 radius_i = radius[i]
                 for j in range(i + 1, count):
                     if row[j] <= radius_i + radius[j] and sets.find(i) != sets.find(j):
-                        if sets.union(i, j) > abort_limit:
-                            return None, growth_steps
+                        sets.union(i, j)
         return list(cluster_members().values()), growth_steps
 
     def _resolve_cluster(self, members: list[SpaceTimeEvent]) -> frozenset[Coord]:
@@ -342,4 +372,8 @@ class ClusteringDecoder(Decoder):
         return frozenset(correction)
 
 
-__all__ = ["DEFAULT_ESCALATION_CLUSTER_SIZE", "ClusteringDecoder"]
+__all__ = [
+    "DEFAULT_ESCALATION_CLUSTER_SIZE",
+    "ClusteringDecoder",
+    "default_escalation_cluster_size",
+]

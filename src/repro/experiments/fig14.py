@@ -31,6 +31,7 @@ from repro.clique.cascade import DecoderCascade
 from repro.codes.rotated_surface import RotatedSurfaceCode, get_code
 from repro.decoders.mwpm import MWPMDecoder
 from repro.decoders.registry import resolve_tier_spec
+from repro.decoders.union_find import default_escalation_cluster_size
 from repro.exceptions import ConfigurationError
 from repro.experiments.base import ExperimentResult, resolve_fault_policy, sweep_cache
 from repro.noise.models import PhenomenologicalNoise
@@ -71,11 +72,32 @@ class _CascadeFactory:
     """Picklable cascade factory carrying the resolved tier spec."""
 
     tiers: tuple[str, ...] = ("clique", "mwpm")
+    escalation_cluster_size: "int | str" = "auto"
 
     def __call__(
         self, code: RotatedSurfaceCode, stype: StabilizerType
     ) -> DecoderCascade:
-        return DecoderCascade(code, stype, tiers=self.tiers)
+        return DecoderCascade(
+            code,
+            stype,
+            tiers=self.tiers,
+            escalation_cluster_size=self.escalation_cluster_size,
+        )
+
+
+def _resolve_escalation_threshold(
+    escalation_cluster_size: "int | str", distance: int
+) -> int:
+    """Resolve ``"auto"`` to the per-distance adaptive threshold.
+
+    Used for the store key: the implicit ``"auto"`` spelling and its
+    resolved explicit value must key identically, and a changed threshold
+    must produce a distinct key (it changes the escalation split and the
+    equal-weight tie-break paths).
+    """
+    if escalation_cluster_size == "auto":
+        return default_escalation_cluster_size(distance)
+    return int(escalation_cluster_size)
 
 
 def _resolve_cascade(
@@ -133,6 +155,7 @@ def _memory_point_config(
     tiers: tuple[str, ...] | None,
     stop: WilsonStoppingRule | None,
     chunk_trials: int | None = None,
+    escalation_cluster_size: "int | str" = "auto",
 ) -> dict[str, object]:
     """The fully resolved, stream-determining config of one fig14 point.
 
@@ -150,7 +173,10 @@ def _memory_point_config(
     names: a two-tier cascade keeps the historical ``"fallback"`` spelling
     (so stores populated before the N-tier refactor stay warm — the numbers
     are bit-identical), while deeper cascades add an explicit ``"tiers"``
-    entry, making every distinct topology a distinct key.
+    entry plus the *resolved* intermediate-tier escalation threshold (the
+    ``"auto"`` spelling and its per-distance value key identically; the
+    threshold shifts the escalation split, so it must key), making every
+    distinct topology a distinct key.
     """
     config = {
         "kind": "memory",
@@ -178,6 +204,9 @@ def _memory_point_config(
     }
     if tiers is not None and len(tiers) > 2:
         config["tiers"] = list(tiers)
+        config["escalation_cluster_size"] = _resolve_escalation_threshold(
+            escalation_cluster_size, distance
+        )
     return config
 
 
@@ -191,6 +220,7 @@ def run(
     scale: str = "laptop",
     fallback: str | None = None,
     tiers: str | tuple[str, ...] | None = None,
+    escalation_cluster_size: "int | str" = "auto",
     workers: int | None = None,
     chunk_trials: int | None = None,
     adaptive: bool = False,
@@ -223,6 +253,11 @@ def run(
             comma-separated string or name tuple starting with ``"clique"``,
             e.g. ``"clique,union_find,mwpm"`` for the paper's Section 8.1
             three-tier cascade.  Mutually exclusive with ``fallback``.
+        escalation_cluster_size: intermediate-tier per-cluster escalation
+            threshold for cascades with three or more tiers; the default
+            ``"auto"`` resolves per distance (see
+            :func:`repro.decoders.union_find.default_escalation_cluster_size`).
+            Participates in the store key with its resolved value.
         workers: worker processes for the sharded engine; rejected with any
             other engine (a silently ignored value would suggest the run was
             parallelised when it was not).
@@ -302,6 +337,7 @@ def run(
                     decoder_tiers,
                     stop,
                     chunk_trials,
+                    escalation_cluster_size,
                 )
                 return cache.point(
                     config,
@@ -330,7 +366,9 @@ def run(
 
             baseline = _decoder_run("MWPM", _mwpm_factory)
             hierarchical = _decoder_run(
-                hierarchy_name, _CascadeFactory(cascade_tiers), cascade_tiers
+                hierarchy_name,
+                _CascadeFactory(cascade_tiers, escalation_cluster_size),
+                cascade_tiers,
             )
             rows.append(
                 {
@@ -387,6 +425,7 @@ def compare_fallbacks(
     workers: int | None = None,
     fallback: str | None = None,
     tiers: str | tuple[str, ...] | None = None,
+    escalation_cluster_size: "int | str" = "auto",
     packed: bool = True,
 ) -> ExperimentResult:
     """Accuracy/throughput of the hierarchy's off-chip cascades side by side.
@@ -429,7 +468,7 @@ def compare_fallbacks(
             result = run_memory_experiment(
                 code,
                 noise,
-                _CascadeFactory(spec),
+                _CascadeFactory(spec, escalation_cluster_size),
                 trials=trials,
                 rounds=rounds,
                 rng=base_seed,

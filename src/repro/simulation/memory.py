@@ -360,13 +360,21 @@ def run_memory_experiment(
             onchip_rounds += metadata["num_rounds"] - offchip
             total_rounds += metadata["num_rounds"]
             if tier_names and "handled_tier" in metadata:
-                # A trial handled at tier h passed through every off-chip
-                # tier 1..h, re-shipping its whole off-chip window each time.
                 handled = metadata["handled_tier"]
                 tier_trials[handled] += 1
                 tier_rounds[0] += metadata["num_rounds"] - offchip
-                for tier in range(1, handled + 1):
-                    tier_rounds[tier] += offchip
+                shipped = metadata.get("tier_shipped_rounds")
+                if shipped is not None:
+                    # Per-cluster escalation: each off-chip tier reports the
+                    # distinct rounds actually shipped into it.
+                    for tier, count in enumerate(shipped, start=1):
+                        tier_rounds[tier] += count
+                else:
+                    # Legacy decoders without shipped counts: assume a trial
+                    # handled at tier h re-shipped its whole off-chip window
+                    # through every tier 1..h.
+                    for tier in range(1, handled + 1):
+                        tier_rounds[tier] += offchip
 
     return MemoryExperimentResult(
         physical_error_rate=noise.data_error_rate,

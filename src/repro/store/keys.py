@@ -20,7 +20,13 @@ from typing import Any, Mapping
 #: simulation/decoding code shifts seeded numeric outputs (e.g. an RNG
 #: consumption reorder or a matcher tie-break rework): old stored results
 #: then miss instead of silently serving stale numbers.
-CODE_VERSION_SALT = "repro-results-v1"
+#:
+#: v2: the large-event matcher moved from networkx's blossom (explicit
+#: zero-weight boundary clique) to the in-tree implicit-boundary blossom.
+#: The frozen seeded pins reproduce bit for bit, but equal-weight tie-breaks
+#: of the two matchers are not provably identical on every input, so results
+#: stored under v1 are conservatively invalidated.
+CODE_VERSION_SALT = "repro-results-v2"
 
 
 def canonical_value(value: Any) -> Any:

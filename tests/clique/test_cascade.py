@@ -150,21 +150,42 @@ class TestEscalationMask:
         bitmap, escalated = decoder.decode_events_tiered(
             np.array([0]), np.array([0])
         )
-        assert not escalated
+        assert escalated.size == 0
         assert bitmap is not None
-        # A tight same-ancilla triple grows into one 3-event cluster.
+        # A tight same-ancilla triple grows into one 3-event cluster whose
+        # size exceeds the threshold: all three members escalate, by index.
         bitmap, escalated = decoder.decode_events_tiered(
             np.array([0, 1, 2]), np.array([0, 0, 0])
         )
-        assert escalated
-        assert bitmap is None
+        assert escalated.tolist() == [0, 1, 2]
+        assert not bitmap.any()
+
+    def test_partial_resolution_escalates_only_oversized_cluster(self, code_d5):
+        decoder = ClusteringDecoder(
+            code_d5, StabilizerType.X, escalation_cluster_size=2
+        )
+        # A far-away isolated event plus a tight same-ancilla triple: the
+        # singleton cluster resolves in place while only the triple's three
+        # member positions escalate.
+        width = code_d5.num_ancillas_of_type(StabilizerType.X)
+        rounds = np.array([0, 0, 1, 2])
+        ancillas = np.array([width - 1, 0, 0, 0])
+        bitmap, escalated = decoder.decode_events_tiered(rounds, ancillas)
+        assert escalated.tolist() == [1, 2, 3]
+        assert escalated.dtype == np.int64
+        # The resolved singleton contributed a non-trivial partial correction.
+        lone, lone_escalated = decoder.decode_events_tiered(
+            np.array([0]), np.array([width - 1])
+        )
+        assert lone_escalated.size == 0
+        assert np.array_equal(bitmap, lone)
 
     def test_empty_event_list_never_escalates(self, code_d5):
         decoder = ClusteringDecoder(
             code_d5, StabilizerType.X, escalation_cluster_size=1
         )
         bitmap, escalated = decoder.decode_events_tiered(np.array([]), np.array([]))
-        assert not escalated
+        assert escalated.size == 0
         assert not bitmap.any()
 
     def test_disabled_policy_resolves_everything(self, code_d5):
@@ -172,7 +193,7 @@ class TestEscalationMask:
         bitmap, escalated = decoder.decode_events_tiered(
             np.array([0, 1, 2, 3]), np.array([0, 0, 0, 0])
         )
-        assert not escalated
+        assert escalated.size == 0
         assert np.array_equal(
             bitmap,
             decoder.decode_events_bitmap(np.array([0, 1, 2, 3]), np.array([0, 0, 0, 0])),

@@ -103,12 +103,19 @@ class TestOffChipPath:
 
 class TestConfiguration:
     def test_custom_fallback_is_used(self, code_d5):
+        # The cascade routes decoder-instance fallbacks through the batched
+        # decode_events_bitmap hook when they provide one (falling back to
+        # matrix-level decode() otherwise), so record both entry points.
         calls = []
 
         class RecordingMWPM(MWPMDecoder):
             def decode(self, detections):
-                calls.append(detections.copy())
+                calls.append(("decode", detections.copy()))
                 return super().decode(detections)
+
+            def decode_events_bitmap(self, rounds, ancillas):
+                calls.append(("decode_events_bitmap", rounds.copy()))
+                return super().decode_events_bitmap(rounds, ancillas)
 
         fallback = RecordingMWPM(code_d5, StabilizerType.X)
         decoder = HierarchicalDecoder(code_d5, StabilizerType.X, fallback=fallback)
@@ -116,6 +123,7 @@ class TestConfiguration:
         detections[0] = _complex_round_signature(code_d5)
         decoder.decode_history(detections)
         assert len(calls) == 1
+        assert calls[0][0] == "decode_events_bitmap"
 
     def test_fallback_not_called_when_everything_is_trivial(self, code_d5):
         calls = []
@@ -124,6 +132,10 @@ class TestConfiguration:
             def decode(self, detections):
                 calls.append(detections.copy())
                 return super().decode(detections)
+
+            def decode_events_bitmap(self, rounds, ancillas):
+                calls.append(rounds.copy())
+                return super().decode_events_bitmap(rounds, ancillas)
 
         decoder = HierarchicalDecoder(
             code_d5, StabilizerType.X, fallback=RecordingMWPM(code_d5, StabilizerType.X)

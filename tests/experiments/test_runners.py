@@ -81,6 +81,37 @@ class TestFig14:
         assert 0.0 <= row["clique_logical_error_rate"] <= 1.0
         assert 0.0 <= row["onchip_round_fraction"] <= 1.0
 
+    def test_point_config_keys_escalation_threshold_for_deep_cascades(self):
+        common = dict(
+            distance=5,
+            error_rate=2e-2,
+            rounds=None,
+            trials=100,
+            engine="batch",
+            decoder="hierarchical",
+            stop=None,
+        )
+        deep = ("clique", "union_find", "mwpm")
+        # The implicit "auto" spelling and its resolved explicit value must
+        # key identically; a different threshold must key differently.
+        auto = fig14._memory_point_config(**common, tiers=deep)
+        explicit = fig14._memory_point_config(
+            **common, tiers=deep, escalation_cluster_size=8
+        )
+        other = fig14._memory_point_config(
+            **common, tiers=deep, escalation_cluster_size=12
+        )
+        assert auto["escalation_cluster_size"] == 8  # d=5 resolves to 8
+        assert auto == explicit
+        assert other != auto
+        # Two-tier cascades have no intermediate tier: the threshold must
+        # stay out of their keys so warm stores keep hitting.
+        two = fig14._memory_point_config(**common, tiers=("clique", "mwpm"))
+        assert "escalation_cluster_size" not in two
+        assert two == fig14._memory_point_config(
+            **common, tiers=("clique", "mwpm"), escalation_cluster_size=12
+        )
+
 
 class TestFig15:
     def test_default_grid(self):

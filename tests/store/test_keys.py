@@ -61,7 +61,7 @@ class TestResultKey:
     def test_salt_separates_keys(self):
         # Bumping the code-version salt must invalidate every stored result.
         assert result_key("fig11", CONFIG, 7) != result_key(
-            "fig11", CONFIG, 7, salt="repro-results-v2"
+            "fig11", CONFIG, 7, salt="some-other-salt"
         )
 
     def test_key_is_hex_sha256(self):

@@ -286,6 +286,22 @@ class TestCascadeTiersCli:
         assert err.startswith("error:")
         assert "mwpm" in err and "union_find" in err
 
+    def test_escalation_cluster_size_flag_threads_through(self, capsys):
+        assert (
+            main(
+                self.FIG14_ARGS
+                + [
+                    "--tiers",
+                    "clique,union_find,mwpm",
+                    "--escalation-cluster-size",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "clique,union_find,mwpm" in out
+
     def test_tiers_and_fallback_are_mutually_exclusive(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(self.FIG14_ARGS + ["--tiers", "clique,mwpm", "--fallback", "mwpm"])
