@@ -1,0 +1,67 @@
+"""The ``repro-qec lint`` command implementation.
+
+Exit codes follow the usual linter convention:
+
+* ``0`` — clean (no findings);
+* ``1`` — findings reported;
+* ``2`` — usage or configuration error (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.core import all_rules, lint_paths
+from repro.analysis.reporting import format_json, format_text
+from repro.exceptions import ConfigurationError
+
+
+def default_lint_paths() -> list[Path]:
+    """With no paths given, lint the installed ``repro`` package itself."""
+    import repro
+
+    return [Path(repro.__file__).resolve().parent]
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part for part in raw.split(",")]
+
+
+def list_rules_table() -> str:
+    """The rule table printed by ``--list-rules`` (id, title, contract)."""
+    rules = all_rules()
+    lines = []
+    for rule_id in sorted(rules):
+        rule = rules[rule_id]
+        lines.append(f"{rule_id}  {rule.title}")
+        lines.append(f"        {rule.contract}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    if args.list_rules:
+        print(list_rules_table())
+        return 0
+    paths = [Path(path) for path in args.paths] if args.paths else default_lint_paths()
+    try:
+        findings = lint_paths(
+            paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0
+
+
+__all__ = ["default_lint_paths", "list_rules_table", "run_lint"]

@@ -1,0 +1,49 @@
+"""Finding output: human text and stable JSON.
+
+The JSON form is byte-stable for identical findings — sorted findings,
+sorted keys, no timestamps or absolute machine paths beyond what the caller
+passed — so editors and CI can diff or cache it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import Finding
+
+#: Schema version of the JSON payload; bump on shape changes.
+JSON_VERSION = 1
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding plus a summary."""
+    if not findings:
+        return "clean: no findings"
+    lines = [
+        f"{finding.coordinate}: {finding.rule} {finding.message}"
+        for finding in findings
+    ]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON: sorted findings, sorted keys, compact separators."""
+    payload = {
+        "version": JSON_VERSION,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in sorted(findings)
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+__all__ = ["JSON_VERSION", "format_json", "format_text"]

@@ -1,0 +1,198 @@
+"""Determinism rules: DET001 (global RNG), DET002 (wall clock / entropy),
+DET003 (set-order iteration).
+
+The repo's reproducibility contract (README -> "Engines and determinism")
+hangs on every random draw being derived from an explicit seed through
+:mod:`repro.noise.rng`, and on kernel code being a pure function of its
+inputs.  These rules make the three classic ways of breaking that contract
+fail lint before they ever run.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis import contracts
+from repro.analysis.core import ModuleContext, Rule
+from repro.analysis.project import ParsedModule
+
+
+class GlobalRngRule(Rule):
+    """DET001 — no global-state RNG outside :data:`contracts.RNG_MODULE`.
+
+    Flags calls that mutate or read numpy's hidden global stream
+    (``np.random.seed``, ``np.random.rand``, ...), stdlib ``random`` module
+    calls, and unseeded ``default_rng()`` — all of which produce numbers no
+    seed controls.
+    """
+
+    id = "DET001"
+    title = "no global-state RNG"
+    contract = (
+        "derive every generator from an explicit seed via repro.noise.rng; "
+        "np.random.* module calls, stdlib random.* calls, and unseeded "
+        "default_rng() are banned outside noise/rng.py"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return not contracts.is_rng_module(module.rel)
+
+    def visit(self, ctx: ModuleContext, node: ast.Call) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted is None:
+            return
+        if dotted.startswith("numpy.random."):
+            attr = dotted[len("numpy.random.") :]
+            if attr not in contracts.NP_RANDOM_ALLOWED:
+                ctx.report(
+                    node,
+                    self.id,
+                    f"{dotted}() uses numpy's global RNG stream, which no "
+                    f"seed controls; derive a Generator from an explicit "
+                    f"seed via repro.noise.rng",
+                )
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                ctx.report(
+                    node,
+                    self.id,
+                    "default_rng() without a seed draws fresh OS entropy; "
+                    "pass the experiment's seed (see repro.noise.rng.make_rng)",
+                )
+            return
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) >= 2:
+            attr = parts[1]
+            if attr == "Random" and (node.args or node.keywords):
+                return  # an explicitly seeded instance is deterministic
+            ctx.report(
+                node,
+                self.id,
+                f"stdlib {dotted}() is global-state (or OS-entropy) RNG; "
+                f"use a seeded numpy Generator from repro.noise.rng instead",
+            )
+
+
+class WallClockRule(Rule):
+    """DET002 — no wall-clock or entropy sources in kernel code.
+
+    Kernel results must be pure functions of ``(inputs, seed)``; a value
+    derived from ``time.time()``, ``os.urandom()``, or ``uuid4()`` differs
+    between runs and poisons bit-identity.  Duration probes
+    (``time.monotonic``/``perf_counter``/``process_time``) remain legal.
+    """
+
+    id = "DET002"
+    title = "no wall-clock/entropy sources in kernel code"
+    contract = (
+        "kernel packages (simulation/, decoders/, clique/, bitplane.py) may "
+        "not call wall-clock or entropy sources (time.time, os.urandom, "
+        "uuid*, secrets.*, argless SeedSequence())"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return contracts.in_kernel_scope(module.rel)
+
+    def visit(self, ctx: ModuleContext, node: ast.Call) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted is None:
+            return
+        if dotted in contracts.WALLCLOCK_CALLS or dotted.startswith(
+            contracts.ENTROPY_PREFIXES
+        ):
+            ctx.report(
+                node,
+                self.id,
+                f"{dotted}() reads wall clock or OS entropy inside kernel "
+                f"code; kernel results must be pure functions of "
+                f"(inputs, seed)",
+            )
+        elif (
+            dotted == "numpy.random.SeedSequence"
+            and not node.args
+            and not node.keywords
+        ):
+            ctx.report(
+                node,
+                self.id,
+                "SeedSequence() without arguments draws OS entropy inside "
+                "kernel code; thread the experiment seed through "
+                "repro.noise.rng instead",
+            )
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Whether ``node`` is syntactically guaranteed to evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+class SetOrderRule(Rule):
+    """DET003 — no iteration over set values into ordered output.
+
+    Python sets iterate in hash order, which differs across processes when
+    ``PYTHONHASHSEED`` varies and across equal-content sets built in
+    different insertion orders — a classic way for sharded workers to
+    disagree.  Kernel code must sort a set before iterating it into
+    anything ordered (``sorted(...)`` passes lint).
+    """
+
+    id = "DET003"
+    title = "no set-order iteration in kernel code"
+    contract = (
+        "kernel code may not iterate a set into ordered output (for loops, "
+        "list comprehensions, list()/tuple()/enumerate()/iter() over a set "
+        "expression); sort first"
+    )
+    node_types = (ast.For, ast.ListComp, ast.Call)
+
+    _ORDER_CAPTURING = ("list", "tuple", "enumerate", "iter")
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return contracts.in_kernel_scope(module.rel)
+
+    def visit(self, ctx: ModuleContext, node: ast.AST) -> None:
+        if isinstance(node, ast.For) and _is_set_expression(node.iter):
+            ctx.report(
+                node.iter,
+                self.id,
+                "for-loop iterates a set in hash order inside kernel code; "
+                "sort it first (sorted(...)) to keep results deterministic",
+            )
+        elif isinstance(node, ast.ListComp):
+            for generator in node.generators:
+                if _is_set_expression(generator.iter):
+                    ctx.report(
+                        generator.iter,
+                        self.id,
+                        "list comprehension captures a set's hash order "
+                        "inside kernel code; sort it first (sorted(...))",
+                    )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._ORDER_CAPTURING
+            and node.args
+            and _is_set_expression(node.args[0])
+        ):
+            ctx.report(
+                node,
+                self.id,
+                f"{node.func.id}() captures a set's hash order inside "
+                f"kernel code; sort it first (sorted(...))",
+            )
+
+
+__all__ = ["GlobalRngRule", "SetOrderRule", "WallClockRule"]

@@ -18,6 +18,9 @@ Examples:
     repro-qec fig14 --scale paper --max-retries 4 --shard-timeout 300
     repro-qec run fig14 --no-packed                  # unpacked reference path
     repro-qec store compact results/                 # GC a long-lived store
+    repro-qec lint src/repro                         # static contract checks
+    repro-qec lint --format json src/ benchmarks/    # stable output for CI
+    repro-qec lint --list-rules
 
 ``--engine`` selects the Monte-Carlo engine for memory experiments (fig14):
 ``batch`` (the default inside the library) vectorises trial triage — all
@@ -44,7 +47,12 @@ shards replay their RNG streams bit-identically, so neither flag ever
 changes results); see README.md → "Fault tolerance".  ``--no-packed``
 switches the batch/sharded memory engines off their default uint64
 bitplane kernels onto the unpacked uint8 reference path — bit-identical
-results, lower throughput; see README.md → "Packed kernels".
+results, lower throughput; see README.md → "Packed kernels".  ``lint``
+statically enforces the repo's contract rules (seeding/determinism, store
+keys, lazy heavy imports, dtype discipline, sharded-kernel picklability,
+tier protocol) with ``ruff``-style findings, ``--select/--ignore``, a
+``# repro: allow[RULE]`` pragma, and exit codes 0/1/2; see README.md →
+"Static analysis".
 """
 
 from __future__ import annotations
@@ -297,6 +305,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --store: recompute every point and overwrite stored results",
     )
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help=(
+            "statically check contract rules (determinism, store keys, "
+            "import hygiene, dtypes, tier protocol) over source paths"
+        ),
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=(
+            "files or directories to lint (default: the installed repro "
+            "package itself)"
+        ),
+    )
+    lint_parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run exclusively (e.g. DET001,KEY001)",
+    )
+    lint_parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    lint_parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "output format: 'text' (file:line:col lines) or 'json' (stable "
+            "sorted payload for editors/CI)"
+        ),
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (id, contract) and exit",
+    )
+
     store_parser = subparsers.add_parser(
         "store", help="maintain a result-store directory"
     )
@@ -320,7 +372,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(argv)
     # `python -m repro fig11 --workers 4` shorthand: a first token that is not
     # a subcommand or an option is an experiment id for the `run` subcommand.
-    if argv and argv[0] not in ("list", "run", "store") and not argv[0].startswith("-"):
+    if argv and argv[0] not in ("list", "run", "store", "lint") and not argv[0].startswith(
+        "-"
+    ):
         argv.insert(0, "run")
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -329,6 +383,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         for experiment_id in available_experiments():
             print(experiment_id)
         return 0
+
+    if args.command == "lint":
+        from repro.analysis.lint_cli import run_lint
+
+        return run_lint(args)
 
     if args.command == "store":
         if args.store_command == "compact":

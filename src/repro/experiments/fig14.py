@@ -167,7 +167,11 @@ def _memory_point_config(
     for the same reason: the bitplane hot path is bit-identical to the
     unpacked one under the same seed, so a sweep computed either way is a
     warm hit for the other (pinned in
-    ``tests/experiments/test_store_resume.py``).
+    ``tests/experiments/test_store_resume.py``).  Every excluded runner
+    keyword is listed, with its reason, in the central
+    :data:`repro.store.keys.KEY_EXCLUDED`; lint rule ``KEY001`` enforces
+    that this function and that list jointly cover the full
+    ``run_memory_experiment`` signature.
 
     Cascade topology participates in the key through the resolved tier
     names: a two-tier cascade keeps the historical ``"fallback"`` spelling

@@ -196,7 +196,10 @@ def resolve_coverage_config(
     :func:`simulate_clique_coverage`: every knob that can change the counts
     appears with its default resolved (so an omitted default and an explicit
     one key identically), and the one knob that never changes the counts
-    (``workers``) is excluded.  The noise model enters as its class name plus
+    (``workers``) is excluded — excluded keywords are centrally listed in
+    :data:`repro.store.keys.KEY_EXCLUDED`, and lint rule ``KEY001`` checks
+    that this function plus that list cover the full
+    :func:`simulate_clique_coverage` signature.  The noise model enters as its class name plus
     *both* rates — a ``PhenomenologicalNoise(p, q)`` with an independent
     measurement rate must not share a key with the symmetric ``q == p``
     model.  ``batch_size`` *is* stream-determining — splitting a run into

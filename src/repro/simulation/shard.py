@@ -180,7 +180,10 @@ def run_sharded(
     """Run ``kernel`` over a deterministic shard plan and merge the partials.
 
     Args:
-        kernel: picklable ``(n_trials, rng) -> partial_result`` callable.
+        kernel: picklable ``(n_trials, rng) -> partial_result`` callable
+            (module-level function or picklable instance — lambdas and
+            locally defined functions fail to pickle into workers; lint rule
+            ``PKL001`` rejects them statically).
         trials: total trial budget, split by :func:`plan_shards`.
         seed: integer seed (or ``None`` for fresh entropy, drawn once and
             shared by all shards).  A ready-made generator is *not* accepted:
@@ -189,7 +192,9 @@ def run_sharded(
             result (see the module docstring).
         workers: process count; defaults to ``os.cpu_count()``.  ``1`` runs
             the shards sequentially in-process.  The value never affects the
-            merged result, only wall-clock time.
+            merged result, only wall-clock time (which is why ``workers`` sits
+            in :data:`repro.store.keys.KEY_EXCLUDED` rather than in any
+            store key).
         merge: associative, commutative combiner of two partial results.
         faults: the :class:`~repro.faults.FaultPolicy` governing retries,
             timeouts, and pool recovery (default: retry each failed shard up

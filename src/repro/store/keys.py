@@ -28,6 +28,38 @@ from typing import Any, Mapping
 #: stored under v1 are conservatively invalidated.
 CODE_VERSION_SALT = "repro-results-v2"
 
+#: The central store-key exclusion list: runner keywords that are
+#: *deliberately* absent from the resolved point configs that
+#: ``repro.experiments.fig14._memory_point_config`` and
+#: ``repro.simulation.coverage.resolve_coverage_config`` hash into result
+#: keys, each with the reason it cannot shape stored numbers (or enters the
+#: key under another name).
+#:
+#: The contract (statically enforced by lint rule ``KEY001``, see
+#: ``repro.analysis``): every keyword of ``run_memory_experiment`` and
+#: ``simulate_clique_coverage`` must either appear in its key-resolution
+#: function — i.e. it is folded into the key — or be listed here.  A new
+#: knob in neither place fails ``repro-qec lint`` until someone decides
+#: which side it belongs on, which kills the "added a kwarg, forgot the
+#: store key, served stale results" bug class at the signature.  When a
+#: keyword graduates from key-neutral to result-affecting, move it out of
+#: this dict *and* bump :data:`CODE_VERSION_SALT` if old stored numbers are
+#: no longer comparable.
+KEY_EXCLUDED: dict[str, str] = {
+    "code": "enters the key as its resolved 'distance' entry",
+    "noise": "enters the key as the noise class name plus its error rates",
+    "decoder_factory": "enters the key as the resolved decoder/fallback/tiers",
+    "decoder": "a prebuilt decoder instance decodes identically to the default",
+    "decoder_name": "display label only; never touches the numbers",
+    "rng": "enters the key separately as result_key's seed argument",
+    "workers": "scheduling only: shard streams are fixed per (seed, chunk)",
+    "checkpoint": "mid-point resume slot; a resumed run equals an unbroken one",
+    "faults": "fault recovery replays shard streams bit-identically",
+    "fault_report": "output-only execution-provenance sink",
+    "fault_injector": "test-only injection; recovered runs are bit-identical",
+    "packed": "bitplane and uint8 kernels are bit-identical under one seed",
+}
+
 
 def canonical_value(value: Any) -> Any:
     """Normalise a config value into a canonical JSON-encodable form.
@@ -84,4 +116,10 @@ def result_key(
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
-__all__ = ["CODE_VERSION_SALT", "canonical_json", "canonical_value", "result_key"]
+__all__ = [
+    "CODE_VERSION_SALT",
+    "KEY_EXCLUDED",
+    "canonical_json",
+    "canonical_value",
+    "result_key",
+]

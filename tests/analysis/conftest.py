@@ -1,0 +1,47 @@
+"""Shared fixtures for the linter test suite.
+
+``scratch_tree`` copies the contract-bearing slice of the real package into
+a temp directory, so cross-file rules (KEY001, TIER001) can be exercised —
+and deliberately broken — without touching the working tree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: The real package the scratch tree is copied from.
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Files the cross-file contracts reference (runners, resolvers, the
+#: exclusion list, the tier registry, and the decoder class hierarchy the
+#: TIER001 base walk follows).
+_COPIED = (
+    "simulation/memory.py",
+    "simulation/coverage.py",
+    "experiments/fig14.py",
+    "store/keys.py",
+    "decoders/base.py",
+    "decoders/registry.py",
+    "decoders/mwpm.py",
+    "decoders/union_find.py",
+)
+
+_PACKAGES = ("", "simulation", "experiments", "store", "decoders")
+
+
+@pytest.fixture
+def scratch_tree(tmp_path: Path) -> Path:
+    """A copy of the contract slice of ``repro`` under a fresh package root.
+
+    Returns the ``repro`` package directory; its parent is the package root
+    ``split_root`` resolves, so package-relative paths match the real tree.
+    """
+    pkg = tmp_path / "pkgroot" / "repro"
+    for sub in _PACKAGES:
+        (pkg / sub).mkdir(parents=True, exist_ok=True)
+        (pkg / sub / "__init__.py").write_text("", encoding="utf-8")
+    for rel in _COPIED:
+        (pkg / rel).write_text((REPO_SRC / rel).read_text(encoding="utf-8"))
+    return pkg

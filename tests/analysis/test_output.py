@@ -1,0 +1,58 @@
+"""Output formatting: human text and byte-stable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import format_json, format_text
+from repro.analysis.core import Finding
+from repro.analysis.reporting import JSON_VERSION
+
+FINDINGS = [
+    Finding("src/b.py", 9, 5, "DTY001", "np.zeros() without an explicit dtype"),
+    Finding("src/a.py", 2, 1, "DET001", "numpy.random.seed() uses the global stream"),
+    Finding("src/a.py", 2, 1, "DET002", "wall clock in kernel code"),
+]
+
+
+class TestTextOutput:
+    def test_clean_run_says_so(self):
+        assert format_text([]) == "clean: no findings"
+
+    def test_one_line_per_finding_plus_summary(self):
+        text = format_text(FINDINGS[:1])
+        assert text == (
+            "src/b.py:9:5: DTY001 np.zeros() without an explicit dtype\n"
+            "1 finding(s)"
+        )
+
+    def test_coordinates_are_editor_clickable(self):
+        assert FINDINGS[0].coordinate == "src/b.py:9:5"
+
+
+class TestJsonOutput:
+    def test_payload_round_trips_with_version(self):
+        payload = json.loads(format_json(FINDINGS))
+        assert payload["version"] == JSON_VERSION
+        assert [f["rule"] for f in payload["findings"]] == [
+            "DET001",
+            "DET002",
+            "DTY001",
+        ]
+        assert payload["findings"][0] == {
+            "path": "src/a.py",
+            "line": 2,
+            "col": 1,
+            "rule": "DET001",
+            "message": "numpy.random.seed() uses the global stream",
+        }
+
+    def test_output_is_byte_stable_under_input_order(self):
+        # Same findings, any order, any duplication of the call: identical
+        # bytes — CI can cache or diff the artifact.
+        forward = format_json(FINDINGS)
+        assert format_json(list(reversed(FINDINGS))) == forward
+        assert format_json(sorted(FINDINGS)) == forward
+
+    def test_empty_payload_is_stable_too(self):
+        assert format_json([]) == f'{{"findings":[],"version":{JSON_VERSION}}}'

@@ -374,3 +374,66 @@ class TestStoreCompactCli:
     def test_store_without_subcommand_errors(self, capsys):
         with pytest.raises(SystemExit):
             main(["store"])
+
+
+class TestLintCli:
+    @staticmethod
+    def _violation_file(tmp_path):
+        target = tmp_path / "snippet.py"
+        target.write_text(
+            "import numpy as np\nnp.random.seed(3)\n", encoding="utf-8"
+        )
+        return target
+
+    def test_clean_path_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("import numpy as np\n", encoding="utf-8")
+        assert main(["lint", str(clean)]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_coordinates(self, tmp_path, capsys):
+        target = self._violation_file(tmp_path)
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert f"{target}:2:1: DET001" in out
+        assert "1 finding(s)" in out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        import json
+
+        target = self._violation_file(tmp_path)
+        assert main(["lint", "--format", "json", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert [(f["rule"], f["line"]) for f in payload["findings"]] == [
+            ("DET001", 2)
+        ]
+
+    def test_select_and_ignore_narrow_the_rule_set(self, tmp_path, capsys):
+        target = self._violation_file(tmp_path)
+        assert main(["lint", "--select", "DTY001", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--ignore", "DET001", str(target)]) == 0
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, capsys):
+        target = self._violation_file(tmp_path)
+        assert main(["lint", "--select", "NOPE999", str(target)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_nonexistent_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing.py")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_list_rules_names_every_contract(self, capsys):
+        from repro.analysis.core import all_rules
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in all_rules():
+            assert rule_id in out
+
+    def test_default_paths_lint_the_installed_package(self, capsys):
+        # `repro-qec lint` with no paths lints src/repro itself — the same
+        # invariant the tier-1 self-lint test pins, via the CLI surface.
+        assert main(["lint"]) == 0
+        assert "clean: no findings" in capsys.readouterr().out

@@ -1,11 +1,18 @@
-"""Dependency hygiene: the default decode path must never import networkx.
+"""Dependency hygiene: the default decode path must never import heavy deps.
 
 The in-tree blossom matcher demoted networkx to an optional differential-test
 oracle (``MWPMDecoder(matcher="networkx")``).  This test runs a fresh
-interpreter with an import hook that *fails* any attempt to import networkx,
-then drives the default decoders through event sets large enough to need the
-general matcher — proving the dependency is truly gone from the hot path, not
-merely unused on the inputs we happened to try.
+interpreter with an import hook that *fails* any attempt to import a heavy
+optional module, then drives the default decoders through event sets large
+enough to need the general matcher — proving the dependency is truly gone
+from the hot path, not merely unused on the inputs we happened to try.
+
+The banned-module set is NOT spelled here: it is the
+``HEAVY_OPTIONAL_MODULES`` manifest in :mod:`repro.analysis.contracts`, the
+same one lint rule ``IMP001`` enforces statically on every import statement.
+One manifest, two enforcement angles — static (every module, every import,
+including paths no test exercises) and dynamic (the real decode path under a
+hostile ``sys.meta_path``) — so the two checks cannot drift apart.
 """
 
 from __future__ import annotations
@@ -15,19 +22,25 @@ import subprocess
 import sys
 from pathlib import Path
 
+from repro.analysis.contracts import HEAVY_OPTIONAL_MODULES
+
 SRC = Path(__file__).resolve().parent.parent / "src"
 ENV = {**os.environ, "PYTHONPATH": str(SRC)}
 
-SCRIPT = r"""
+SCRIPT_TEMPLATE = r"""
 import sys
+
+BANNED = __BANNED__
+
 
 class _Banned:
     def find_module(self, name, path=None):  # pragma: no cover - never hit
         return None
 
     def find_spec(self, name, path=None, target=None):
-        if name == "networkx" or name.startswith("networkx."):
-            raise ImportError(f"networkx import attempted on the default path: {name}")
+        top = name.split(".", 1)[0]
+        if top in BANNED:
+            raise ImportError(f"heavy import attempted on the default path: {name}")
         return None
 
 sys.meta_path.insert(0, _Banned())
@@ -43,7 +56,7 @@ code = get_code(5)
 width = code.num_ancillas_of_type(StabilizerType.X)
 
 # MWPM on an event set far past the subset-DP small-case limit: the general
-# (blossom) matcher must run, networkx-free.
+# (blossom) matcher must run, free of every heavy optional dependency.
 decoder = MWPMDecoder(code, StabilizerType.X)
 rng = np.random.default_rng(7)
 detections = (rng.random((6, width)) < 0.3).astype(np.uint8)
@@ -60,8 +73,17 @@ cascade.decode_batch(batch)
 print("OK")
 """
 
+SCRIPT = SCRIPT_TEMPLATE.replace("__BANNED__", repr(tuple(HEAVY_OPTIONAL_MODULES)))
 
-def test_default_decode_path_never_imports_networkx():
+
+def test_manifest_covers_the_known_heavy_deps():
+    # The manifest is the single source of truth for both this test and
+    # IMP001; a rename there must be deliberate, not accidental.
+    assert "networkx" in HEAVY_OPTIONAL_MODULES
+    assert "matplotlib" in HEAVY_OPTIONAL_MODULES
+
+
+def test_default_decode_path_never_imports_heavy_deps():
     result = subprocess.run(
         [sys.executable, "-c", SCRIPT],
         capture_output=True,
@@ -88,4 +110,4 @@ def test_oracle_matcher_still_reaches_networkx_lazily():
         timeout=120,
     )
     assert result.returncode != 0
-    assert "networkx import attempted" in result.stderr
+    assert "heavy import attempted" in result.stderr
