@@ -43,6 +43,14 @@ tracked across PRs:
   rounds=2d) through the two-tier Clique+MWPM cascade with each matcher,
   asserting matching logical-failure counts everywhere, a >= 3x end-to-end
   speedup at d=13, and no regression at d=5;
+* ``scheduler`` (schema v9) — a paper-shaped six-point fig14 grid (d in
+  {3, 5, 7} x two error rates, 500 trials per decoder run in ~5 shards)
+  dispatched ``schedule="sweep"`` (one persistent pool, shards interleaved
+  across all twelve decoder runs) vs ``schedule="point"`` (a fresh pool per
+  run), recording wall-clock and pool-construction counts per side,
+  asserting identical rows, exactly one pool built by the scheduler, a
+  >= 1.5x sweep-over-point speedup on multi-core runners (>= 4 CPUs), and
+  near-zero scheduler overhead at ``workers=1``;
 * ``faults`` (schema v6) — the d=5 workload (8000 trials) with the default
   fault policy (retry bookkeeping armed, nothing failing) vs the passive
   zero-retry baseline, asserting the fault-free overhead of the retry path
@@ -78,7 +86,12 @@ from repro.codes.rotated_surface import get_code
 from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.fig14 import PAPER_TRIAL_BUDGETS
 from repro.experiments.registry import run_experiment
-from repro.faults import FaultInjector, FaultPolicy, FaultReport
+from repro.faults import (
+    FaultInjector,
+    FaultPolicy,
+    FaultReport,
+    pool_construction_count,
+)
 from repro.noise.models import PhenomenologicalNoise
 from repro.simulation.coverage import simulate_clique_coverage
 from repro.simulation.memory import run_memory_experiment
@@ -87,7 +100,7 @@ from repro.types import StabilizerType
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_memory.json"
 
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 DISTANCE = 5
 ERROR_RATE = 1e-2
 TRIALS = 1_000
@@ -158,6 +171,21 @@ BLOSSOM_ROUNDS_FACTOR = 2
 BLOSSOM_TIMING_REPEATS = 2
 BLOSSOM_GATE_DISTANCE = 13
 MIN_BLOSSOM_END_TO_END_SPEEDUP = 3.0
+
+#: Scheduler workload (schema v9): a paper-shaped mixed-distance fig14 grid
+#: where per-point pools waste real wall-clock — twelve sharded decoder runs
+#: of ~5 shards each, so every run pays pool construction and a last-shard
+#: tail that leaves workers idle.  The sweep scheduler amortises one pool
+#: over all twelve and backfills every tail with other points' shards.  At
+#: ``workers=1`` both paths run the same sequential loop, so the sweep side
+#: must stay within a few percent (the ratio floor, < 1.0, absorbs timer
+#: noise on a fast all-hit loop).
+SCHEDULER_DISTANCES = (3, 5, 7)
+SCHEDULER_ERROR_RATES = (5e-3, 1e-2)
+SCHEDULER_TRIALS = 500
+SCHEDULER_CHUNK = 100
+MIN_SCHEDULER_SPEEDUP = 1.5
+MIN_SCHEDULER_SINGLE_WORKER_RATIO = 0.9
 
 #: Fault-tolerance workload (schema v6): the retry machinery must be free
 #: when nothing fails.  The default policy runs the bookkeeping path (retry
@@ -646,6 +674,52 @@ def test_engine_and_fallback_throughput_bench_record():
         ],
     }
 
+    # --- scheduler: persistent-pool sweep vs per-point pools (schema v9) --
+    run_memory_experiment(  # warm-up: d=3 decoder tables for the workers=1 side
+        get_code(3), PhenomenologicalNoise(ERROR_RATE), _Hierarchical(),
+        trials=10, rng=1,
+    )
+
+    def _schedule_run(schedule, workers):
+        pools_before = pool_construction_count()
+        start = time.perf_counter()
+        result = run_experiment(
+            "fig14",
+            trials=SCHEDULER_TRIALS,
+            distances=SCHEDULER_DISTANCES,
+            error_rates=SCHEDULER_ERROR_RATES,
+            engine="sharded",
+            workers=workers,
+            chunk_trials=SCHEDULER_CHUNK,
+            seed=SEED,
+            schedule=schedule,
+        )
+        elapsed = time.perf_counter() - start
+        return {
+            "schedule": schedule,
+            "workers": workers,
+            "seconds": round(elapsed, 4),
+            "pools_built": pool_construction_count() - pools_before,
+        }, result.rows
+
+    sweep_multi, sweep_multi_rows = _schedule_run("sweep", cpu_count)
+    point_multi, point_multi_rows = _schedule_run("point", cpu_count)
+    sweep_single, sweep_single_rows = _schedule_run("sweep", 1)
+    point_single, point_single_rows = _schedule_run("point", 1)
+    scheduler_speedup = point_multi["seconds"] / sweep_multi["seconds"]
+    scheduler_single_ratio = point_single["seconds"] / sweep_single["seconds"]
+    scheduler_record = {
+        "distances": list(SCHEDULER_DISTANCES),
+        "error_rates": list(SCHEDULER_ERROR_RATES),
+        "trials": SCHEDULER_TRIALS,
+        "chunk_trials": SCHEDULER_CHUNK,
+        "seed": SEED,
+        "decoder_runs": 2 * len(SCHEDULER_DISTANCES) * len(SCHEDULER_ERROR_RATES),
+        "runs": [sweep_multi, point_multi, sweep_single, point_single],
+        "sweep_speedup": round(scheduler_speedup, 2),
+        "single_worker_ratio": round(scheduler_single_ratio, 2),
+    }
+
     # --- warm-store re-run speedup (schema v4) ----------------------------
     with tempfile.TemporaryDirectory() as store_dir:
         start = time.perf_counter()
@@ -700,6 +774,7 @@ def test_engine_and_fallback_throughput_bench_record():
         "packed": packed_record,
         "blossom": blossom_record,
         "faults": faults_record,
+        "scheduler": scheduler_record,
         "batch_speedup": round(batch_speedup, 2),
     }
     history = []
@@ -815,6 +890,29 @@ def test_engine_and_fallback_throughput_bench_record():
         f"fault-free retry-path overhead regressed: {fault_overhead_pct:.2f}% "
         f"(> {MAX_FAULT_OVERHEAD_PCT}%)"
     )
+
+    # The scheduler is pure dispatch: identical rows at every worker count
+    # and schedule, one pool for the whole sweep vs one per decoder run, and
+    # the wall-clock gates — >= 1.5x over per-point pools with real cores,
+    # within noise of the per-point path when both run sequentially.
+    assert sweep_multi_rows == point_multi_rows
+    assert sweep_single_rows == point_single_rows
+    assert sweep_multi_rows == sweep_single_rows
+    if cpu_count >= 2:
+        assert sweep_multi["pools_built"] == 1, (
+            f"sweep scheduler built {sweep_multi['pools_built']} pools; the "
+            "persistent pool is the whole point"
+        )
+        assert point_multi["pools_built"] == scheduler_record["decoder_runs"]
+    assert scheduler_single_ratio >= MIN_SCHEDULER_SINGLE_WORKER_RATIO, (
+        f"sweep scheduling regressed the sequential path: "
+        f"{scheduler_single_ratio:.2f}x of per-point wall-clock"
+    )
+    if cpu_count >= MULTI_CORE_THRESHOLD:
+        assert scheduler_speedup >= MIN_SCHEDULER_SPEEDUP, (
+            f"persistent-pool sweep speedup regressed on {cpu_count} cores: "
+            f"{scheduler_speedup:.2f}x"
+        )
 
     # Throughput gates.
     assert batch_speedup >= MIN_BATCH_SPEEDUP, (

@@ -8,6 +8,8 @@ Examples:
     repro-qec fig12 --param distances=3,5,7 --chunk-cycles 2000
     repro-qec run fig14 --engine loop --param trials=200
     repro-qec run fig14 --scale paper --workers 8
+    repro-qec fig14 --scale paper --workers 8 --schedule point
+    repro-qec fig11 --workers 4 --chunk-cycles auto
     repro-qec fig14 --scale paper --adaptive --target-ci-width 0.02
     repro-qec run fig14 --fallback union_find
     repro-qec run fig14 --tiers clique,union_find,mwpm
@@ -44,7 +46,11 @@ completes and makes re-runs resume (``--resume``, the default) or recompute
 directory; see README.md → "Results and resume".  ``--max-retries`` /
 ``--shard-timeout`` tune the sharded engine's fault tolerance (retried
 shards replay their RNG streams bit-identically, so neither flag ever
-changes results); see README.md → "Fault tolerance".  ``--no-packed``
+changes results); see README.md → "Fault tolerance".  ``--schedule``
+picks the sharded dispatch mode for the sweeps: ``sweep`` (the default for
+sharded runs) drives every pending point's shards through one persistent
+worker pool, ``point`` builds one pool per sweep point — byte-identical
+results either way; see README.md → "Sweep scheduling".  ``--no-packed``
 switches the batch/sharded memory engines off their default uint64
 bitplane kernels onto the unpacked uint8 reference path — bit-identical
 results, lower throughput; see README.md → "Packed kernels".  ``lint``
@@ -90,6 +96,18 @@ def _parse_scalar(text: str) -> object:
             )
         return value
     return text
+
+
+def _int_or_auto(text: str) -> object:
+    """Parse an integer-valued flag that also accepts the ``auto`` spelling."""
+    if text == "auto":
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
 
 
 def _parse_param(raw: str) -> tuple[str, object]:
@@ -168,12 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--chunk-cycles",
-        type=int,
+        type=_int_or_auto,
         default=None,
         metavar="N",
         help=(
             "cycles per shard for the sharded coverage experiments "
-            "(fig11/fig12/fig16); with the seed it fully determines results"
+            "(fig11/fig12/fig16); with the seed it fully determines results. "
+            "'auto' sizes shards per point from the budget, worker count, "
+            "and code distance"
+        ),
+    )
+    run_parser.add_argument(
+        "--schedule",
+        choices=("sweep", "point"),
+        default=None,
+        help=(
+            "sharded dispatch mode for the sweep experiments: 'sweep' (the "
+            "default for sharded runs) interleaves every pending point's "
+            "shards through one persistent worker pool, 'point' builds one "
+            "pool per sweep point; results are byte-identical either way"
         ),
     )
     run_parser.add_argument(
@@ -429,6 +460,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "max_retries",
             "shard_timeout",
             "packed",
+            "schedule",
         ):
             value = getattr(args, flag)
             if value is not None:

@@ -16,10 +16,11 @@ def run(
     error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
     measurement_rounds: int = 2,
     workers: int | None = None,
-    chunk_cycles: int | None = None,
+    chunk_cycles: "int | str | None" = None,
     target_ci_width: float | None = None,
     store: object | None = None,
     force: bool = False,
+    schedule: str | None = None,
 ) -> ExperimentResult:
     """Reproduce the Fig. 11 coverage curves (coverage vs distance per error rate).
 
@@ -36,6 +37,12 @@ def run(
     completes and reuses already-present points on re-runs, so an
     interrupted sweep resumes where it stopped; adaptive points additionally
     checkpoint per Wilson wave.  ``force`` recomputes and overwrites.
+
+    ``chunk_cycles="auto"`` sizes shards per point from the budget, worker
+    count, and distance; ``schedule`` picks the sharded dispatch mode —
+    ``"sweep"`` (default) interleaves all points' shards through one
+    persistent pool, ``"point"`` keeps the legacy pool-per-point path.
+    Both knobs are wall-clock only: results are byte-identical either way.
     """
     return run_coverage_sweep(
         sweep_cache(store, "fig11", force),
@@ -49,6 +56,7 @@ def run(
         workers=workers,
         chunk_cycles=chunk_cycles,
         target_ci_width=target_ci_width,
+        schedule=schedule,
         row_of=_fig11_row,
         notes=(
             "Paper observation: coverage stays near/above ~70% even at a 1% physical\n"

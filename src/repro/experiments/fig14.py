@@ -38,7 +38,12 @@ from repro.noise.models import PhenomenologicalNoise
 from repro.noise.rng import point_seed
 from repro.simulation.memory import run_memory_experiment
 from repro.simulation.monte_carlo import WilsonStoppingRule, until_wilson
-from repro.simulation.shard import DEFAULT_SHARD_TRIALS
+from repro.simulation.scheduler import SweepScheduler, memory_point, validate_schedule
+from repro.simulation.shard import (
+    AUTO_CHUNK,
+    DEFAULT_SHARD_TRIALS,
+    resolve_auto_chunk,
+)
 from repro.types import StabilizerType
 
 DEFAULT_DISTANCES = (3, 5, 7)
@@ -83,6 +88,13 @@ class _CascadeFactory:
             tiers=self.tiers,
             escalation_cluster_size=self.escalation_cluster_size,
         )
+
+
+@dataclass(frozen=True)
+class _Scheduled:
+    """Placeholder for a row cell whose point is pending in the sweep scheduler."""
+
+    point_id: str
 
 
 def _resolve_escalation_threshold(
@@ -226,7 +238,7 @@ def run(
     tiers: str | tuple[str, ...] | None = None,
     escalation_cluster_size: "int | str" = "auto",
     workers: int | None = None,
-    chunk_trials: int | None = None,
+    chunk_trials: "int | str | None" = None,
     adaptive: bool = False,
     target_ci_width: float | None = None,
     min_trials: int = 200,
@@ -235,6 +247,7 @@ def run(
     max_retries: int | None = None,
     shard_timeout: float | None = None,
     packed: bool = True,
+    schedule: str | None = None,
 ) -> ExperimentResult:
     """Reproduce the Fig. 14 comparison (baseline vs Clique + fallback).
 
@@ -268,7 +281,12 @@ def run(
         chunk_trials: trials per shard for the sharded engine (default
             :data:`~repro.simulation.shard.DEFAULT_SHARD_TRIALS`); with the
             seed it fully determines the sharded result, so it participates
-            in the store key with its resolved value.
+            in the store key with its resolved value.  ``"auto"`` resolves
+            per point from the point's trial budget, the worker count, and
+            the code distance (see
+            :func:`~repro.simulation.shard.resolve_auto_chunk`), so short
+            high-distance points still split into enough shards to keep a
+            pool busy; the resolved integer is what enters the key.
         adaptive: stop each (point, decoder) run as soon as the Wilson
             interval on its logical error rate is at most ``target_ci_width``
             wide, instead of burning the full fixed budget.  The scale's
@@ -298,6 +316,13 @@ def run(
             path (default; the CLI's ``--no-packed`` turns it off).
             Bit-identical either way, so the flag is deliberately absent
             from the store key.
+        schedule: sharded-engine dispatch mode — ``"sweep"`` (the default
+            for sharded runs) interleaves every pending point's shards
+            through one persistent worker pool via
+            :class:`~repro.simulation.SweepScheduler`; ``"point"`` is the
+            legacy one-pool-per-point path.  Byte-identical results either
+            way (and deliberately absent from the store key), so the knob
+            is pure wall-clock.  Rejected on non-sharded engines.
     """
     budget, distances, engine = _resolve_scale(scale, trials, distances, engine)
     if target_ci_width is not None:
@@ -308,12 +333,30 @@ def run(
         engine = "sharded"
     cascade_tiers = _resolve_cascade(tiers, fallback)
     hierarchy_name = _cascade_label(cascade_tiers)
+    if schedule is not None:
+        validate_schedule(schedule)
+        if engine != "sharded":
+            raise ConfigurationError(
+                f"schedule={schedule!r} requires engine='sharded', got {engine!r}"
+            )
+    if chunk_trials == AUTO_CHUNK and engine != "sharded":
+        raise ConfigurationError(
+            f"chunk_trials='auto' requires engine='sharded', got {engine!r}"
+        )
+    use_sweep = engine == "sharded" and (schedule or "sweep") == "sweep"
     # Deliberately absent from _memory_point_config: fault recovery replays
     # shard streams bit-identically, so the policy (like workers) never
     # affects the stored counts.
     faults = resolve_fault_policy(max_retries, shard_timeout)
     cache = sweep_cache(store, "fig14", force)
-    rows = []
+
+    def _persist_hook(config, point_seed_value):
+        # The scheduler fires this the moment the point's last shard lands,
+        # so a kill mid-sweep leaves every finished point durably stored.
+        return lambda result: cache.finish(config, point_seed_value, result)
+
+    pending: list = []
+    grid: list[tuple] = []
     for distance_index, distance in enumerate(distances):
         code = get_code(distance)
         for rate_index, error_rate in enumerate(error_rates):
@@ -330,6 +373,12 @@ def run(
                 else None
             )
 
+            point_chunk = (
+                resolve_auto_chunk(point_trials, workers, distance)
+                if chunk_trials == AUTO_CHUNK
+                else chunk_trials
+            )
+
             def _decoder_run(decoder_label, factory, decoder_tiers=None):
                 config = _memory_point_config(
                     distance,
@@ -340,9 +389,40 @@ def run(
                     decoder_label,
                     decoder_tiers,
                     stop,
-                    chunk_trials,
+                    point_chunk,
                     escalation_cluster_size,
                 )
+                if use_sweep:
+                    cached = cache.lookup(config, base_seed)
+                    if cached is not None:
+                        return cached
+                    point_id = f"{distance_index}:{rate_index}:{decoder_label}"
+                    pending.append(
+                        memory_point(
+                            point_id,
+                            code,
+                            noise,
+                            factory,
+                            trials=point_trials,
+                            seed=base_seed,
+                            rounds=rounds,
+                            chunk_trials=(
+                                point_chunk
+                                if point_chunk is not None
+                                else DEFAULT_SHARD_TRIALS
+                            ),
+                            stop=stop,
+                            checkpoint=(
+                                cache.checkpoint(config, base_seed)
+                                if stop is not None
+                                else None
+                            ),
+                            packed=packed,
+                            decoder_name=decoder_label,
+                            on_complete=_persist_hook(config, base_seed),
+                        )
+                    )
+                    return _Scheduled(point_id)
                 return cache.point(
                     config,
                     base_seed,
@@ -356,7 +436,7 @@ def run(
                         decoder_name=decoder_label,
                         engine=engine,
                         workers=workers,
-                        chunk_trials=chunk_trials,
+                        chunk_trials=point_chunk,
                         faults=faults,
                         packed=packed,
                         adaptive=stop,
@@ -374,20 +454,32 @@ def run(
                 _CascadeFactory(cascade_tiers, escalation_cluster_size),
                 cascade_tiers,
             )
-            rows.append(
-                {
-                    "code_distance": distance,
-                    "physical_error_rate": error_rate,
-                    "trials": point_trials,
-                    "baseline_trials": baseline.trials,
-                    "clique_trials": hierarchical.trials,
-                    "baseline_logical_error_rate": baseline.logical_error_rate,
-                    "clique_logical_error_rate": hierarchical.logical_error_rate,
-                    "baseline_ci_high": baseline.confidence_interval[1],
-                    "clique_ci_high": hierarchical.confidence_interval[1],
-                    "onchip_round_fraction": hierarchical.onchip_round_fraction,
-                }
-            )
+            grid.append((distance, error_rate, point_trials, baseline, hierarchical))
+    scheduled = (
+        SweepScheduler(workers=workers, faults=faults).run(pending) if pending else {}
+    )
+
+    def _resolve(ref):
+        return scheduled[ref.point_id] if isinstance(ref, _Scheduled) else ref
+
+    rows = []
+    for distance, error_rate, point_trials, baseline, hierarchical in grid:
+        baseline = _resolve(baseline)
+        hierarchical = _resolve(hierarchical)
+        rows.append(
+            {
+                "code_distance": distance,
+                "physical_error_rate": error_rate,
+                "trials": point_trials,
+                "baseline_trials": baseline.trials,
+                "clique_trials": hierarchical.trials,
+                "baseline_logical_error_rate": baseline.logical_error_rate,
+                "clique_logical_error_rate": hierarchical.logical_error_rate,
+                "baseline_ci_high": baseline.confidence_interval[1],
+                "clique_ci_high": hierarchical.confidence_interval[1],
+                "onchip_round_fraction": hierarchical.onchip_round_fraction,
+            }
+        )
     notes = (
         "Paper observation: Clique+MWPM tracks the MWPM baseline almost exactly\n"
         "at d=3/5/7 and is marginally worse at d=9/11 because the primary design\n"

@@ -16,6 +16,7 @@ from repro.faults.executor import (
     SKIPPED,
     DegradedExecutionWarning,
     ShardExecutor,
+    pool_construction_count,
 )
 from repro.faults.injector import (
     FAULT_PLAN_ENV,
@@ -44,4 +45,5 @@ __all__ = [
     "ShardFault",
     "SkippedShard",
     "parse_fault_plan",
+    "pool_construction_count",
 ]

@@ -1,11 +1,14 @@
 """Fault-tolerant shard dispatch: retries, timeouts, pool recovery, degrade.
 
 :class:`ShardExecutor` is the execution engine under
-:func:`repro.simulation.shard.run_sharded` and
-:func:`~repro.simulation.shard.run_sharded_adaptive`.  It owns the
+:func:`repro.simulation.shard.run_sharded`,
+:func:`~repro.simulation.shard.run_sharded_adaptive`, and the sweep
+scheduler (:mod:`repro.simulation.scheduler`).  It owns the
 ``ProcessPoolExecutor`` lifecycle and dispatches shard tasks — ``(kernel,
-shard_trials, seed, shard_index)`` tuples under PR 2's seeding contract —
-with the recovery ladder of :class:`~repro.faults.FaultPolicy`:
+shard_trials, seed, shard_index)`` tuples under PR 2's seeding contract,
+optionally extended with a fifth ``point_index`` element when many sweep
+points share one executor — with the recovery ladder of
+:class:`~repro.faults.FaultPolicy`:
 
 * a **worker exception** re-dispatches the same shard (same ``(seed,
   shard_index)`` ⇒ the retry is bit-identical) after a deterministic
@@ -40,7 +43,7 @@ import time
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.exceptions import (
     ConfigurationError,
@@ -66,8 +69,28 @@ class _Skipped:
 #: Placeholder returned (in task order) for shards dropped from the merge.
 SKIPPED = _Skipped()
 
-#: Floor on the executor's wait quantum so deadline checks stay cheap.
+#: Floor on the executor's wait quantum when a deadline or backoff gate is
+#: armed, so those checks stay cheap.  With no ``shard_timeout`` and no
+#: pending backoff the dispatch loop skips deadline bookkeeping entirely and
+#: blocks natively on the pool — small shards pay no 20 ms latency quantum.
 _MIN_WAIT = 0.02
+
+#: Process-pool constructions since import, across every executor instance.
+#: The perf-smoke benchmark diffs this around a sweep to show that the
+#: scheduler's persistent pool really is constructed once, not per point.
+_POOL_CONSTRUCTIONS = 0
+
+
+def pool_construction_count() -> int:
+    """How many process pools have been constructed in this process so far."""
+    return _POOL_CONSTRUCTIONS
+
+
+def _task_parts(task: tuple) -> tuple:
+    """Split a 4- or 5-tuple task into ``(kernel, trials, seed, shard, point)``."""
+    kernel, shard_trials, seed, shard_index = task[:4]
+    point_index = task[4] if len(task) > 4 else None
+    return kernel, shard_trials, seed, shard_index, point_index
 
 
 def _execute_shard(
@@ -79,6 +102,7 @@ def _execute_shard(
     injector: FaultInjector | None,
     in_process: bool,
     timeout: float | None,
+    point_index: int | None = None,
 ) -> Any:
     """One shard attempt under the seeding contract (top-level so it pickles).
 
@@ -88,7 +112,11 @@ def _execute_shard(
     """
     if injector is not None:
         injector.fire_shard_fault(
-            shard_index, attempt, in_process=in_process, timeout=timeout
+            shard_index,
+            attempt,
+            in_process=in_process,
+            timeout=timeout,
+            point_index=point_index,
         )
     return kernel(shard_trials, shard_rng(seed, shard_index))
 
@@ -156,6 +184,8 @@ class ShardExecutor:
             from concurrent.futures import ProcessPoolExecutor
 
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            global _POOL_CONSTRUCTIONS
+            _POOL_CONSTRUCTIONS += 1
         except (ImportError, NotImplementedError, OSError, PermissionError) as error:
             # Environments without working multiprocessing primitives raise
             # while *constructing* the pool (its queues allocate semaphores
@@ -191,28 +221,63 @@ class ShardExecutor:
     def run(self, tasks: list[tuple]) -> list[Any]:
         """Execute ``tasks`` and return their outcomes in task order.
 
-        Each task is ``(kernel, shard_trials, seed, shard_index)``.  Entries
-        for shards dropped by ``on_exhausted="skip"`` are :data:`SKIPPED`.
+        Each task is ``(kernel, shard_trials, seed, shard_index)``, optionally
+        extended with a fifth ``point_index`` element.  Entries for shards
+        dropped by ``on_exhausted="skip"`` are :data:`SKIPPED`.
         """
         if not tasks:
             return []
         if self.policy.is_passive and self.injector is None:
             return self._run_passive(tasks)
+        return self.run_dynamic(tasks)
+
+    def run_dynamic(
+        self,
+        tasks: list[tuple],
+        on_complete: "Callable[[int, Any], list[tuple] | None] | None" = None,
+    ) -> list[Any]:
+        """Execute ``tasks``, notifying ``on_complete`` as each outcome lands.
+
+        ``on_complete(index, outcome)`` fires exactly once per task, the
+        moment its outcome is final (a result, or :data:`SKIPPED`), and may
+        return follow-up tasks to enqueue on the same still-warm pool — this
+        is how the sweep scheduler feeds an adaptive point's next Wilson wave
+        in while other points' shards are in flight.  Returns the outcomes of
+        the final task list (follow-ups included), in task order.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
         states = [_TaskState(index=index) for index in range(len(tasks))]
         results: list[Any] = [None] * len(tasks)
+        queue: deque[int] = deque(range(len(tasks)))
+
+        def finish(index: int) -> None:
+            if on_complete is None:
+                return
+            for task in on_complete(index, results[index]) or ():
+                tasks.append(task)
+                states.append(_TaskState(index=len(states)))
+                results.append(None)
+                queue.append(len(results) - 1)
+
         if self._ensure_pool() is None:
-            for state in states:
-                self._run_sequential(tasks[state.index], state, results)
+            while queue:
+                index = queue.popleft()
+                self._run_sequential(tasks[index], states[index], results)
+                finish(index)
             return results
-        self._run_pooled(tasks, states, results)
+        self._run_pooled(tasks, states, results, queue, finish)
         return results
 
     # ------------------------------------------------------------------
     def _run_passive(self, tasks: list[tuple]) -> list[Any]:
         """The pre-fault-tolerance dispatch: no retries, fail-fast, ``pool.map``."""
         args = [
-            (kernel, shard_trials, seed, shard_index, 0, None, True, None)
-            for kernel, shard_trials, seed, shard_index in tasks
+            (kernel, shard_trials, seed, shard_index, 0, None, True, None, point)
+            for kernel, shard_trials, seed, shard_index, point in map(
+                _task_parts, tasks
+            )
         ]
         pool = self._ensure_pool()
         if pool is None:
@@ -223,7 +288,7 @@ class ShardExecutor:
     def _run_sequential(
         self, task: tuple, state: _TaskState, results: list[Any]
     ) -> None:
-        kernel, shard_trials, seed, shard_index = task
+        kernel, shard_trials, seed, shard_index, point_index = _task_parts(task)
         while True:
             try:
                 results[state.index] = _execute_shard(
@@ -235,6 +300,7 @@ class ShardExecutor:
                     self.injector,
                     True,
                     self.policy.shard_timeout,
+                    point_index,
                 )
                 return
             except ConfigurationError:
@@ -256,7 +322,7 @@ class ShardExecutor:
         self, task: tuple, state: _TaskState, error: Exception, results: list[Any]
     ) -> None:
         """A shard ran out of retry budget: skip with provenance, or abort."""
-        _, shard_trials, _, shard_index = task
+        _, shard_trials, _, shard_index, point_index = _task_parts(task)
         if self.policy.on_exhausted == "skip":
             self.report.skipped_shards.append(
                 SkippedShard(
@@ -264,6 +330,7 @@ class ShardExecutor:
                     trials=shard_trials,
                     attempts=state.attempt,
                     error=repr(error),
+                    point_index=point_index,
                 )
             )
             results[state.index] = SKIPPED
@@ -273,16 +340,29 @@ class ShardExecutor:
 
     # ------------------------------------------------------------------
     def _run_pooled(
-        self, tasks: list[tuple], states: list[_TaskState], results: list[Any]
+        self,
+        tasks: list[tuple],
+        states: list[_TaskState],
+        results: list[Any],
+        queue: deque[int],
+        finish: "Callable[[int], None]",
     ) -> None:
         from concurrent.futures import FIRST_COMPLETED, wait
         from concurrent.futures.process import BrokenProcessPool
 
-        queue: deque[int] = deque(range(len(tasks)))
         pending: dict = {}  # future -> (task index, deadline | None)
+        # Deadline bookkeeping (per-future deadlines, the expiry scan, the
+        # bounded wait quantum) exists only to enforce shard_timeout; without
+        # one the loop blocks natively on the pool, so small shards pay no
+        # _MIN_WAIT latency tax.  Backoff gates likewise only exist once a
+        # retry has been charged, which a zero-retry policy never does.
+        track_deadlines = self.policy.shard_timeout is not None
+        track_backoff = self.policy.max_retries > 0
 
         def submit(index: int) -> None:
-            kernel, shard_trials, seed, shard_index = tasks[index]
+            kernel, shard_trials, seed, shard_index, point_index = _task_parts(
+                tasks[index]
+            )
             future = self._pool.submit(
                 _execute_shard,
                 kernel,
@@ -293,10 +373,11 @@ class ShardExecutor:
                 self.injector,
                 False,
                 None,
+                point_index,
             )
             deadline = (
                 time.monotonic() + self.policy.shard_timeout
-                if self.policy.shard_timeout is not None
+                if track_deadlines
                 else None
             )
             pending[future] = (index, deadline)
@@ -309,9 +390,12 @@ class ShardExecutor:
                 state.retries += 1
                 if state.retries > self.policy.max_retries:
                     self._exhaust(tasks[index], state, error, results)
-                    return results[index] is SKIPPED
+                    if results[index] is SKIPPED:
+                        finish(index)
+                        return True
+                    return False
                 self.report.retries += 1
-                _, _, seed, shard_index = tasks[index]
+                _, _, seed, shard_index, _ = _task_parts(tasks[index])
                 state.not_before = time.monotonic() + self.policy.backoff_delay(
                     seed, shard_index, state.retries
                 )
@@ -325,6 +409,7 @@ class ShardExecutor:
                 if future.done() and not future.cancelled():
                     try:
                         results[index] = future.result()
+                        finish(index)
                         continue
                     except Exception:
                         # Broken-pool casualty (or a failure racing the
@@ -335,6 +420,22 @@ class ShardExecutor:
                     states[index].attempt += 1
                 queue.append(index)
 
+        def pool_incident() -> None:
+            """A worker died hard (SIGKILL, segfault) and broke the pool."""
+            self.report.pool_respawns += 1
+            drain_pending()
+            self._kill_pool()
+            if self.report.pool_respawns > self.policy.max_pool_respawns:
+                self._sequential_only = True
+                self.report.degraded_to_sequential = True
+                warnings.warn(
+                    f"process pool broke {self.report.pool_respawns} times; "
+                    "degrading to sequential in-process execution for the "
+                    "remaining shards (results are unaffected)",
+                    DegradedExecutionWarning,
+                    stacklevel=3,
+                )
+
         while queue or pending:
             if self._sequential_only or self._ensure_pool() is None:
                 # Pool gone for good: finish everything in-process, keeping
@@ -342,18 +443,39 @@ class ShardExecutor:
                 while queue:
                     index = queue.popleft()
                     self._run_sequential(tasks[index], states[index], results)
+                    finish(index)
                 return
             now = time.monotonic()
+            submit_broke_pool = False
             for index in [i for i in queue if states[i].not_before <= now]:
                 if len(pending) >= self.workers:
                     break
                 queue.remove(index)
-                submit(index)
+                try:
+                    submit(index)
+                except BrokenProcessPool:
+                    # The pool broke between the last wait and this submit, so
+                    # the incident surfaces here instead of through a future.
+                    # The task never reached a worker: requeue it with its
+                    # attempt key untouched (no injector attempt was consumed)
+                    # and handle the incident as usual.
+                    queue.append(index)
+                    submit_broke_pool = True
+                    break
+            if submit_broke_pool:
+                pool_incident()
+                continue
 
             # How long may we block?  Until the nearest shard deadline or
-            # backoff gate, whichever comes first.
-            horizons = [d for _, d in pending.values() if d is not None]
-            horizons += [states[i].not_before for i in queue if states[i].not_before > now]
+            # backoff gate, whichever comes first — or indefinitely when
+            # neither mechanism is armed.
+            horizons = []
+            if track_deadlines:
+                horizons += [d for _, d in pending.values() if d is not None]
+            if track_backoff:
+                horizons += [
+                    states[i].not_before for i in queue if states[i].not_before > now
+                ]
             timeout = max(_MIN_WAIT, min(horizons) - now) if horizons else None
             if not pending:
                 time.sleep(timeout if timeout is not None else _MIN_WAIT)
@@ -375,24 +497,15 @@ class ShardExecutor:
                 except Exception as error:
                     if not requeue(index, charge_retry=True, error=error):
                         return  # exhausted with on_exhausted="raise" raises above
+                else:
+                    finish(index)
 
             if pool_broken:
-                # A worker died hard (SIGKILL, segfault) and broke the pool.
-                self.report.pool_respawns += 1
-                drain_pending()
-                self._kill_pool()
-                if self.report.pool_respawns > self.policy.max_pool_respawns:
-                    self._sequential_only = True
-                    self.report.degraded_to_sequential = True
-                    warnings.warn(
-                        f"process pool broke {self.report.pool_respawns} times; "
-                        "degrading to sequential in-process execution for the "
-                        "remaining shards (results are unaffected)",
-                        DegradedExecutionWarning,
-                        stacklevel=2,
-                    )
+                pool_incident()
                 continue
 
+            if not track_deadlines:
+                continue
             now = time.monotonic()
             expired = [
                 (future, index)
@@ -406,7 +519,7 @@ class ShardExecutor:
                 for future, index in expired:
                     del pending[future]
                     self.report.timeouts += 1
-                    _, _, _, shard_index = tasks[index]
+                    _, _, _, shard_index, _ = _task_parts(tasks[index])
                     if not requeue(
                         index,
                         charge_retry=True,
@@ -423,4 +536,5 @@ __all__ = [
     "SKIPPED",
     "DegradedExecutionWarning",
     "ShardExecutor",
+    "pool_construction_count",
 ]

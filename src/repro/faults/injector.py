@@ -11,14 +11,18 @@ RNG stream.
 
 Plan grammar (clauses separated by ``;``, keywords case-insensitive)::
 
-    shard <i> [attempts <a>[-<b>]] raise          # raise in the worker
-    shard <i> [attempts <a>[-<b>]] kill           # SIGKILL the worker process
-    shard <i> [attempts <a>[-<b>]] hang <secs>    # sleep in the worker
+    [point <p>] shard <i> [attempts <a>[-<b>]] raise        # raise in the worker
+    [point <p>] shard <i> [attempts <a>[-<b>]] kill         # SIGKILL the worker
+    [point <p>] shard <i> [attempts <a>[-<b>]] hang <secs>  # sleep in the worker
     store line <k> corrupt                        # flip bytes of line k on write
     checkpoint truncate [<n>]                     # truncate the n-th checkpoint save
 
 ``attempts`` defaults to ``0`` (first attempt only); ``attempt`` is accepted
-as a synonym.  Shard/attempt/line/save indices are zero-based.  Example::
+as a synonym.  The optional ``point <p>`` qualifier restricts a shard clause
+to the ``p``-th point of a scheduled sweep (the scheduler's enumeration
+order); unqualified clauses match the shard index of *every* point — which
+is exactly what the same plan did when each point ran its own executor.
+Shard/point/attempt/line/save indices are zero-based.  Example::
 
     REPRO_FAULT_PLAN="shard 1 attempt 0 raise; shard 2 attempts 0-1 kill; \\
                       shard 0 attempt 0 hang 5; store line 3 corrupt"
@@ -65,15 +69,25 @@ class InjectedWorkerCrash(InjectedFaultError):
 
 @dataclass(frozen=True)
 class ShardFault:
-    """One ``shard ...`` clause: fail a shard on a range of attempts."""
+    """One ``shard ...`` clause: fail a shard on a range of attempts.
+
+    ``point_index`` is ``None`` for unqualified clauses (match the shard
+    index within every sweep point, as per-point executors always did) or the
+    zero-based scheduler point a ``point <p>`` qualifier pins the clause to.
+    """
 
     shard_index: int
     first_attempt: int
     last_attempt: int
     action: str  # "raise" | "kill" | "hang"
     seconds: float = 0.0
+    point_index: int | None = None
 
-    def matches(self, shard_index: int, attempt: int) -> bool:
+    def matches(
+        self, shard_index: int, attempt: int, point_index: int | None = None
+    ) -> bool:
+        if self.point_index is not None and self.point_index != point_index:
+            return False
         return (
             shard_index == self.shard_index
             and self.first_attempt <= attempt <= self.last_attempt
@@ -88,10 +102,12 @@ class FaultPlan:
     corrupt_store_lines: tuple[int, ...] = ()
     truncate_checkpoint_saves: tuple[int, ...] = ()
 
-    def shard_fault(self, shard_index: int, attempt: int) -> ShardFault | None:
-        """The first clause scheduled for this ``(shard, attempt)``, if any."""
+    def shard_fault(
+        self, shard_index: int, attempt: int, point_index: int | None = None
+    ) -> ShardFault | None:
+        """The first clause scheduled for this ``(point, shard, attempt)``."""
         for fault in self.shard_faults:
-            if fault.matches(shard_index, attempt):
+            if fault.matches(shard_index, attempt, point_index):
                 return fault
         return None
 
@@ -159,6 +175,16 @@ def parse_fault_plan(text: str) -> FaultPlan:
             continue
         tokens = clause.lower().split()
         subject = tokens.pop(0)
+        point_index: int | None = None
+        if subject == "point":
+            if not tokens:
+                raise ConfigurationError(f"missing point index in {clause!r}")
+            point_index = _parse_int(tokens.pop(0), "point index", clause)
+            if not tokens or tokens.pop(0) != "shard":
+                raise ConfigurationError(
+                    f"'point <p>' must be followed by a shard clause: {clause!r}"
+                )
+            subject = "shard"
         if subject == "shard":
             if not tokens:
                 raise ConfigurationError(f"missing shard index in {clause!r}")
@@ -195,7 +221,7 @@ def parse_fault_plan(text: str) -> FaultPlan:
                     f"trailing tokens {tokens!r} in fault clause {clause!r}"
                 )
             shard_faults.append(
-                ShardFault(shard_index, first, last, action, seconds)
+                ShardFault(shard_index, first, last, action, seconds, point_index)
             )
         elif subject == "store":
             if len(tokens) != 3 or tokens[0] != "line" or tokens[2] != "corrupt":
@@ -252,6 +278,7 @@ class FaultInjector:
         attempt: int,
         in_process: bool,
         timeout: float | None,
+        point_index: int | None = None,
     ) -> None:
         """Apply the plan's fault for this shard attempt, if one is scheduled.
 
@@ -259,7 +286,7 @@ class FaultInjector:
         in the parent for in-process execution — *before* the kernel touches
         its RNG stream, so an injected failure never half-consumes a stream.
         """
-        fault = self.plan.shard_fault(shard_index, attempt)
+        fault = self.plan.shard_fault(shard_index, attempt, point_index)
         if fault is None:
             return
         if fault.action == "raise":

@@ -119,12 +119,18 @@ class FaultPolicy:
 
 @dataclass(frozen=True)
 class SkippedShard:
-    """Provenance of one shard dropped by ``on_exhausted="skip"``."""
+    """Provenance of one shard dropped by ``on_exhausted="skip"``.
+
+    ``point_index`` identifies the sweep point the shard belonged to when the
+    run was dispatched by the sweep scheduler (tasks from many points share
+    one executor there); per-point executor runs leave it ``None``.
+    """
 
     shard_index: int
     trials: int
     attempts: int
     error: str
+    point_index: int | None = None
 
 
 @dataclass

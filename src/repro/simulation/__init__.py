@@ -18,9 +18,17 @@ from repro.simulation.monte_carlo import (
     wilson_width,
 )
 from repro.simulation.results import SignatureDistribution
+from repro.simulation.scheduler import (
+    PointOutcome,
+    SweepPoint,
+    SweepScheduler,
+    coverage_point,
+    memory_point,
+)
 from repro.simulation.shard import (
     AdaptiveShardRun,
     MemoryKernel,
+    resolve_auto_chunk,
     run_memory_experiment_adaptive,
     run_memory_experiment_sharded,
     run_sharded,
@@ -28,6 +36,12 @@ from repro.simulation.shard import (
 )
 
 __all__ = [
+    "PointOutcome",
+    "SweepPoint",
+    "SweepScheduler",
+    "coverage_point",
+    "memory_point",
+    "resolve_auto_chunk",
     "sample_cycle_signatures",
     "simulate_signature_distribution",
     "SignatureDistribution",

@@ -25,7 +25,12 @@ from repro.exceptions import ConfigurationError
 from repro.noise.models import NoiseModel
 from repro.noise.rng import make_rng
 from repro.simulation.monte_carlo import until_wilson, wilson_interval
-from repro.simulation.shard import run_sharded, run_sharded_adaptive
+from repro.simulation.shard import (
+    AUTO_CHUNK,
+    resolve_auto_chunk,
+    run_sharded,
+    run_sharded_adaptive,
+)
 from repro.types import StabilizerType
 
 #: Cycles per shard of a sharded/adaptive coverage run: small enough that a
@@ -167,7 +172,9 @@ def _coverage_successes(counts: tuple[int, int, int]) -> int:
 
 
 def _is_sharded(
-    workers: int | None, chunk_cycles: int | None, target_ci_width: float | None
+    workers: int | None,
+    chunk_cycles: "int | str | None",
+    target_ci_width: float | None,
 ) -> bool:
     """Single source of truth for engaging the sharded coverage engine.
 
@@ -178,6 +185,25 @@ def _is_sharded(
     return workers is not None or chunk_cycles is not None or target_ci_width is not None
 
 
+def _resolve_chunk(
+    chunk_cycles: "int | str | None",
+    num_cycles: int,
+    workers: int | None,
+    distance: int,
+) -> int:
+    """One chunk-size resolution for the simulator and the keying contract.
+
+    ``"auto"`` picks the shard size from the budget, worker count, and
+    distance (:func:`repro.simulation.shard.resolve_auto_chunk`); the store
+    key records the resolved integer, never the machine-dependent spelling.
+    """
+    if chunk_cycles == AUTO_CHUNK:
+        return resolve_auto_chunk(
+            num_cycles, workers, distance, default=DEFAULT_SHARD_CYCLES
+        )
+    return chunk_cycles if chunk_cycles is not None else DEFAULT_SHARD_CYCLES
+
+
 def resolve_coverage_config(
     num_cycles: int,
     noise: NoiseModel,
@@ -185,7 +211,7 @@ def resolve_coverage_config(
     stype: StabilizerType = StabilizerType.X,
     measurement_rounds: int = 2,
     workers: int | None = None,
-    chunk_cycles: int | None = None,
+    chunk_cycles: "int | str | None" = None,
     target_ci_width: float | None = None,
     min_cycles: int | None = None,
     batch_size: int = 50_000,
@@ -208,7 +234,7 @@ def resolve_coverage_config(
     streams too (:func:`_is_sharded` keeps the two call sites in lock-step).
     """
     sharded = _is_sharded(workers, chunk_cycles, target_ci_width)
-    chunk = chunk_cycles if chunk_cycles is not None else DEFAULT_SHARD_CYCLES
+    chunk = _resolve_chunk(chunk_cycles, num_cycles, workers, distance)
     if target_ci_width is None:
         # min_cycles is adaptive-only (the simulator rejects it otherwise).
         resolved_min = None
@@ -244,10 +270,11 @@ def simulate_clique_coverage(
     batch_size: int = 50_000,
     decoder: CliqueDecoder | None = None,
     workers: int | None = None,
-    chunk_cycles: int | None = None,
+    chunk_cycles: "int | str | None" = None,
     target_ci_width: float | None = None,
     min_cycles: int | None = None,
     checkpoint: object | None = None,
+    schedule: str | None = None,
 ) -> CoverageResult:
     """Estimate Clique coverage by sampling independent decode cycles.
 
@@ -271,6 +298,13 @@ def simulate_clique_coverage(
     ``cycles`` field records what was actually consumed.  ``checkpoint``
     (adaptive only) enables per-wave mid-point resume — see
     :func:`repro.simulation.shard.run_sharded_adaptive`.
+
+    ``chunk_cycles="auto"`` resolves the shard size from the budget, worker
+    count, and distance (:func:`repro.simulation.shard.resolve_auto_chunk`).
+    ``schedule="sweep"`` (sharded only) routes the point through the sweep
+    scheduler (:mod:`repro.simulation.scheduler`) — byte-identical counts,
+    near-zero overhead for a single point, used by the experiment sweeps to
+    keep one pool saturated across many points.
     """
     if num_cycles <= 0:
         raise ConfigurationError(f"num_cycles must be positive, got {num_cycles}")
@@ -290,6 +324,15 @@ def simulate_clique_coverage(
         )
 
     sharded = _is_sharded(workers, chunk_cycles, target_ci_width)
+    if schedule is not None:
+        from repro.simulation.scheduler import validate_schedule
+
+        validate_schedule(schedule)
+        if not sharded:
+            raise ConfigurationError(
+                "schedule is only meaningful with the sharded engine: pass "
+                "workers, chunk_cycles, or target_ci_width"
+            )
     if not sharded:
         generator = make_rng(rng)
         clique = decoder or CliqueDecoder(code, stype)
@@ -312,16 +355,37 @@ def simulate_clique_coverage(
                 "a pre-built decoder cannot be used with the sharded coverage "
                 "path: each shard rebuilds its own CliqueDecoder"
             )
-        chunk = chunk_cycles if chunk_cycles is not None else DEFAULT_SHARD_CYCLES
-        kernel = CoverageKernel(code, noise, stype, measurement_rounds, batch_size)
-        if target_ci_width is not None:
-            stop = until_wilson(
+        chunk = _resolve_chunk(chunk_cycles, num_cycles, workers, code.distance)
+        stop = (
+            until_wilson(
                 target_ci_width,
                 min_trials=min_cycles
                 if min_cycles is not None
                 else min(chunk, num_cycles),
                 max_trials=num_cycles,
             )
+            if target_ci_width is not None
+            else None
+        )
+        if schedule == "sweep":
+            from repro.simulation.scheduler import SweepScheduler, coverage_point
+
+            point = coverage_point(
+                "point",
+                code,
+                noise,
+                cycles=num_cycles,
+                seed=rng,
+                measurement_rounds=measurement_rounds,
+                stype=stype,
+                batch_size=batch_size,
+                chunk_cycles=chunk,
+                stop=stop,
+                checkpoint=checkpoint,
+            )
+            return SweepScheduler(workers=workers).run([point])["point"]
+        kernel = CoverageKernel(code, noise, stype, measurement_rounds, batch_size)
+        if stop is not None:
             run = run_sharded_adaptive(
                 kernel,
                 stop=stop,

@@ -192,13 +192,14 @@ def run_memory_experiment(
     decoder_name: str | None = None,
     engine: str = "batch",
     workers: int | None = None,
-    chunk_trials: int | None = None,
+    chunk_trials: "int | str | None" = None,
     adaptive: WilsonStoppingRule | None = None,
     checkpoint: object | None = None,
     faults: object | None = None,
     fault_report: object | None = None,
     fault_injector: object | None = None,
     packed: bool = True,
+    schedule: str | None = None,
 ) -> MemoryExperimentResult:
     """Estimate the logical error rate of a decoder with Monte-Carlo trials.
 
@@ -224,7 +225,11 @@ def run_memory_experiment(
             ``(seed, chunk_trials)`` independent of ``workers``).
         workers: process count for the sharded engine (defaults to the CPU
             count; ``1`` runs the shards sequentially in-process).
-        chunk_trials: trials per shard for the sharded engine.
+        chunk_trials: trials per shard for the sharded engine.  The string
+            ``"auto"`` (sharded only) resolves the shard size from the trial
+            budget, worker count, and code distance
+            (:func:`repro.simulation.shard.resolve_auto_chunk`); keyed
+            configs record the resolved integer.
         adaptive: a :class:`~repro.simulation.monte_carlo.WilsonStoppingRule`
             (see :func:`~repro.simulation.monte_carlo.until_wilson`) enabling
             adaptive trial allocation on the sharded engine: shards are
@@ -250,6 +255,12 @@ def run_memory_experiment(
             results, only throughput and peak memory.  The ``"loop"`` engine
             decodes trial by trial and has no packed representation, so the
             flag is accepted and ignored there.
+        schedule: ``"sweep"`` (sharded only) routes the run through the
+            sweep scheduler (:mod:`repro.simulation.scheduler`) — the same
+            dispatcher the multi-point experiment sweeps share one pool on.
+            Counts are byte-identical either way; for a single point this is
+            just the near-zero-overhead degenerate case.  ``"point"`` (or
+            ``None``) keeps the direct per-point engine.
     """
     if checkpoint is not None and adaptive is None:
         raise ConfigurationError(
@@ -271,12 +282,58 @@ def run_memory_experiment(
         raise ConfigurationError(
             f"adaptive allocation requires engine='sharded', got engine={engine!r}"
         )
+    if schedule is not None:
+        from repro.simulation.scheduler import validate_schedule
+
+        validate_schedule(schedule)
+        if engine != "sharded":
+            raise ConfigurationError(
+                f"schedule is only meaningful for engine='sharded', got engine={engine!r}"
+            )
+    if chunk_trials == "auto" and engine != "sharded":
+        raise ConfigurationError(
+            "chunk_trials='auto' is only meaningful for engine='sharded': "
+            "only the shard planner resolves it"
+        )
     if engine == "sharded":
         from repro.simulation.shard import (
+            AUTO_CHUNK,
+            resolve_auto_chunk,
             run_memory_experiment_adaptive,
             run_memory_experiment_sharded,
         )
 
+        if chunk_trials == AUTO_CHUNK:
+            budget = adaptive.max_trials if adaptive is not None else trials
+            chunk_trials = resolve_auto_chunk(budget, workers, code.distance)
+        if schedule == "sweep":
+            from repro.simulation.scheduler import SweepScheduler, memory_point
+
+            point_kwargs = (
+                {} if chunk_trials is None else {"chunk_trials": chunk_trials}
+            )
+            point = memory_point(
+                "point",
+                code,
+                noise,
+                decoder_factory,
+                trials=trials,
+                seed=rng,
+                rounds=rounds,
+                stype=stype,
+                stop=adaptive,
+                checkpoint=checkpoint,
+                packed=packed,
+                decoder_name=decoder_name,
+                **point_kwargs,
+            )
+            scheduler = SweepScheduler(
+                workers=workers,
+                faults=faults,
+                fault_report=fault_report,
+                fault_injector=fault_injector,
+            )
+            return scheduler.run([point])["point"]
         kwargs = {} if chunk_trials is None else {"chunk_trials": chunk_trials}
         kwargs.update(
             faults=faults,

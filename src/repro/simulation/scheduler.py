@@ -1,0 +1,476 @@
+"""Persistent-pool sweep scheduling: one executor, many points, shards interleaved.
+
+A figure sweep (fig11/fig12/fig14/fig16) is dozens of independent Monte-Carlo
+points, and the per-point runners each spin up — and tear down — their own
+``ProcessPoolExecutor`` inside :class:`~repro.faults.ShardExecutor`.  That
+serialises the sweep twice over: a point's slow last shard (a d=11 blossom
+tail, say) leaves every other worker idle until the point finishes, and each
+adaptive Wilson wave queues its small trailing shard batch behind fresh
+pool-construction overhead.  :class:`SweepScheduler` owns **one** executor
+(hence one pool) for the lifetime of a sweep and keeps it saturated with
+shard tasks from *all* pending points at once: fixed-budget points enqueue
+their whole shard plan up front, adaptive points enqueue wave-by-wave through
+a per-point Wilson driver — so a converging point's tail overlaps the next
+point's first wave.
+
+Determinism is untouched **by construction**.  Each shard remains a pure
+function of ``(point_seed, shard_index, chunk_trials)`` under the PR 2
+seeding contract; the scheduler merely changes *when* shards execute, never
+which shards exist or which streams they draw.  Every point's partials are
+merged in shard-index order (waves in index order, shards within a wave by
+offset), the adaptive wave schedule stays the same pure function of that
+point's consumed-trial count, and checkpoints are saved through the same
+:func:`~repro.simulation.shard._checkpoint_state` layout — so a scheduled
+sweep is byte-identical to the sequential per-point sweep at any worker
+count, stores, checkpoints, and all.
+
+Fault tolerance rides the existing ladder unchanged: retries, timeouts, pool
+respawns, and degradation are per-shard concerns of the shared
+:class:`~repro.faults.ShardExecutor` (with the one semantic shift that
+respawn/degrade budgets now span the sweep rather than a single point, since
+there is a single pool).  Tasks are dispatched tagged ``(point_index,
+shard_index)``, so chaos plans can pin a fault to one point of a scheduled
+sweep via the ``point <p>`` qualifier (see :mod:`repro.faults.injector`) and
+skipped-shard provenance stays attributable per point.  Each point is
+finalised — and persisted, via its ``on_complete`` hook — the moment its
+last shard lands, preserving kill-mid-sweep resume: points completed before
+a crash are already durable in the :class:`~repro.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError, FaultToleranceError
+from repro.faults import (
+    SKIPPED,
+    FaultInjector,
+    FaultPolicy,
+    FaultReport,
+    ShardExecutor,
+)
+from repro.simulation.monte_carlo import WilsonStoppingRule, wilson_interval
+from repro.simulation.shard import (
+    DEFAULT_SHARD_TRIALS,
+    MemoryKernel,
+    _checkpoint_state,
+    _load_checkpoint_state,
+    _memory_successes,
+    _resolve_fault_args,
+    _resolve_rounds,
+    _resolve_seed,
+    _resolve_workers,
+    merge_counts,
+    merge_memory_counts,
+    plan_shards,
+)
+from repro.types import StabilizerType
+
+#: The two dispatch modes experiment runners accept: ``"sweep"`` feeds every
+#: point's shards through one persistent pool, ``"point"`` is the legacy
+#: one-pool-per-point path.  Results are byte-identical either way.
+SCHEDULE_MODES = ("sweep", "point")
+
+
+def validate_schedule(schedule: str) -> str:
+    """Reject anything but the two documented dispatch modes."""
+    if schedule not in SCHEDULE_MODES:
+        raise ConfigurationError(
+            f"schedule must be one of {SCHEDULE_MODES}, got {schedule!r}"
+        )
+    return schedule
+
+
+@dataclass
+class SweepPoint:
+    """One sweep point's shard plan, merge, and completion hooks.
+
+    ``trials`` is the fixed budget when ``stop`` is ``None``; adaptive points
+    (``stop`` set) ignore it in favour of the rule's own ``min_trials`` /
+    ``max_trials`` wave schedule and must provide ``successes_of``.
+    ``finalize`` maps the raw :class:`PointOutcome` to the caller's result
+    type; ``on_complete`` fires with that finalised result the moment the
+    point's last shard lands — the persistence hook.
+    """
+
+    point_id: str
+    kernel: Any
+    trials: int
+    seed: int | None = None
+    chunk_trials: int = DEFAULT_SHARD_TRIALS
+    merge: Callable[[Any, Any], Any] = merge_counts
+    stop: WilsonStoppingRule | None = None
+    successes_of: Callable[[Any], int] | None = None
+    checkpoint: Any | None = None
+    finalize: Callable[["PointOutcome"], Any] | None = None
+    on_complete: Callable[[Any], None] | None = None
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """A completed point's merged value plus per-point execution provenance.
+
+    ``trials`` is the budget actually merged (fixed budget minus skipped
+    trials, or the adaptive consumed-trial count); ``shards`` the number of
+    RNG stream indices consumed.  ``successes`` / ``interval`` are set for
+    adaptive points only.
+    """
+
+    point_id: str
+    value: Any
+    trials: int
+    shards: int
+    skipped_shards: int
+    skipped_trials: int
+    engine_degraded: bool
+    successes: int | None = None
+    interval: tuple[float, float] | None = None
+
+
+class _PointDriver:
+    """Mutable per-point progress: the Wilson driver state and wave buffers."""
+
+    def __init__(self, index: int, point: SweepPoint) -> None:
+        self.index = index  # the fault plan's / SkippedShard's point_index
+        self.point = point
+        self.seed = _resolve_seed(point.seed)
+        self.merged: Any = None
+        self.trials_done = 0
+        self.next_index = 0  # next unconsumed shard RNG stream index
+        self.wave_base = 0  # shard index of the current wave's offset 0
+        self.wave_sizes: list[int] = []
+        self.wave_outcomes: list[Any] = []
+        self.outstanding = 0  # current-wave shards still in flight
+        self.skipped_shards = 0
+        self.skipped_trials = 0
+        self.done = False
+        self.result: Any = None
+
+
+@dataclass
+class SweepScheduler:
+    """Run many sweep points on one persistent :class:`ShardExecutor` pool.
+
+    ``workers`` / ``faults`` / ``fault_report`` / ``fault_injector`` carry
+    the same semantics as :func:`repro.simulation.shard.run_sharded`, except
+    that the policy's pool-respawn and degradation budgets span the whole
+    sweep (one pool) instead of resetting per point.
+    """
+
+    workers: int | None = None
+    faults: FaultPolicy | None = None
+    fault_report: FaultReport | None = None
+    fault_injector: FaultInjector | None = None
+
+    def run(self, points: "list[SweepPoint]") -> dict[str, Any]:
+        """Execute every point and return ``{point_id: finalised result}``.
+
+        Points complete — finalise, fire ``on_complete`` — as their last
+        shard lands, in whatever order the pool finishes them; the returned
+        mapping is complete and deterministic regardless.
+        """
+        points = list(points)
+        if not points:
+            return {}
+        ids = [point.point_id for point in points]
+        if len(dict.fromkeys(ids)) != len(ids):
+            raise ConfigurationError(f"sweep point_ids must be unique, got {ids!r}")
+        for point in points:
+            if point.stop is not None and point.successes_of is None:
+                raise ConfigurationError(
+                    f"adaptive sweep point {point.point_id!r} needs successes_of"
+                )
+        workers = _resolve_workers(self.workers)
+        policy, report = _resolve_fault_args(self.faults, self.fault_report)
+        drivers = [_PointDriver(index, point) for index, point in enumerate(points)]
+        task_meta: list[tuple[_PointDriver, int]] = []  # task index -> (driver, offset)
+
+        def start_wave(driver: _PointDriver, sizes: list[int]) -> list[tuple]:
+            driver.wave_base = driver.next_index
+            driver.wave_sizes = list(sizes)
+            driver.wave_outcomes = [None] * len(sizes)
+            driver.outstanding = len(sizes)
+            batch = []
+            for offset, shard_trials in enumerate(sizes):
+                task_meta.append((driver, offset))
+                batch.append(
+                    (
+                        driver.point.kernel,
+                        shard_trials,
+                        driver.seed,
+                        driver.wave_base + offset,
+                        driver.index,
+                    )
+                )
+            return batch
+
+        def complete(driver: _PointDriver) -> None:
+            point = driver.point
+            if point.stop is None:
+                trials = point.trials - driver.skipped_trials
+                successes: int | None = None
+                interval: tuple[float, float] | None = None
+            else:
+                trials = driver.trials_done
+                successes = point.successes_of(driver.merged)
+                interval = wilson_interval(successes, driver.trials_done, point.stop.z)
+            outcome = PointOutcome(
+                point_id=point.point_id,
+                value=driver.merged,
+                trials=trials,
+                shards=driver.next_index,
+                skipped_shards=driver.skipped_shards,
+                skipped_trials=driver.skipped_trials,
+                engine_degraded=report.engine_degraded,
+                successes=successes,
+                interval=interval,
+            )
+            driver.result = (
+                point.finalize(outcome) if point.finalize is not None else outcome
+            )
+            driver.done = True
+            if point.on_complete is not None:
+                point.on_complete(driver.result)
+
+        def advance_adaptive(driver: _PointDriver) -> list[tuple]:
+            point, stop = driver.point, driver.point.stop
+            if driver.merged is not None and stop.satisfied(
+                point.successes_of(driver.merged), driver.trials_done
+            ):
+                complete(driver)
+                return []
+            # Same schedule as run_sharded_adaptive, fresh or resumed: cover
+            # min_trials first, then double the consumed total, clamped.
+            if driver.trials_done < stop.min_trials:
+                wave = stop.min_trials - driver.trials_done
+            else:
+                wave = stop.next_wave(driver.trials_done)
+            if wave <= 0:
+                complete(driver)
+                return []
+            return start_wave(driver, plan_shards(wave, point.chunk_trials))
+
+        def wave_done(driver: _PointDriver) -> list[tuple]:
+            point = driver.point
+            sizes, outcomes = driver.wave_sizes, driver.wave_outcomes
+            done_trials = 0
+            # Merge strictly by shard offset: identical associativity order
+            # to the sequential per-point path, hence byte-identical results
+            # even for non-commutative merges.
+            for size, outcome in zip(sizes, outcomes):
+                if outcome is SKIPPED:
+                    driver.skipped_shards += 1
+                    driver.skipped_trials += size
+                    continue
+                driver.merged = (
+                    outcome
+                    if driver.merged is None
+                    else point.merge(driver.merged, outcome)
+                )
+                done_trials += size
+            driver.next_index = driver.wave_base + len(sizes)
+            if point.stop is None:
+                if driver.merged is None:
+                    raise FaultToleranceError(
+                        f"all {len(sizes)} shard(s) were skipped after exhausting "
+                        "their retry budgets; nothing to merge"
+                    )
+                complete(driver)
+                return []
+            if done_trials == 0:
+                raise FaultToleranceError(
+                    f"all {len(sizes)} shard(s) of an adaptive wave were "
+                    "skipped after exhausting their retry budgets; the run "
+                    "cannot make progress"
+                )
+            driver.trials_done += done_trials
+            if point.checkpoint is not None:
+                point.checkpoint.save(
+                    _checkpoint_state(
+                        driver.seed,
+                        point.chunk_trials,
+                        driver.trials_done,
+                        driver.next_index,
+                        driver.merged,
+                    )
+                )
+            return advance_adaptive(driver)
+
+        def open_point(driver: _PointDriver) -> list[tuple]:
+            point = driver.point
+            if point.stop is None:
+                return start_wave(
+                    driver, plan_shards(point.trials, point.chunk_trials)
+                )
+            if point.checkpoint is not None:
+                resumed = _load_checkpoint_state(
+                    point.checkpoint, driver.seed, point.chunk_trials
+                )
+                if resumed is not None:
+                    driver.merged, driver.trials_done, driver.next_index = resumed
+            return advance_adaptive(driver)
+
+        def on_task_complete(task_index: int, outcome: Any) -> "list[tuple] | None":
+            driver, offset = task_meta[task_index]
+            driver.wave_outcomes[offset] = outcome
+            driver.outstanding -= 1
+            if driver.outstanding:
+                return None
+            return wave_done(driver)
+
+        initial: list[tuple] = []
+        for driver in drivers:
+            # An adaptive point resuming from an already-satisfied checkpoint
+            # completes here without contributing a single shard.
+            initial.extend(open_point(driver))
+        if initial:
+            with ShardExecutor(
+                workers=workers,
+                policy=policy,
+                injector=self.fault_injector,
+                report=report,
+            ) as executor:
+                executor.run_dynamic(initial, on_task_complete)
+        stuck = [driver.point.point_id for driver in drivers if not driver.done]
+        if stuck:
+            raise FaultToleranceError(
+                f"scheduled sweep finished with incomplete points: {stuck!r}"
+            )
+        return {driver.point.point_id: driver.result for driver in drivers}
+
+
+# ----------------------------------------------------------------------
+# Point adapters for the two experiment families
+# ----------------------------------------------------------------------
+def memory_point(
+    point_id: str,
+    code: Any,
+    noise: Any,
+    decoder_factory: Any,
+    *,
+    trials: int,
+    seed: int | None,
+    rounds: int | None = None,
+    stype: StabilizerType = StabilizerType.X,
+    chunk_trials: int = DEFAULT_SHARD_TRIALS,
+    stop: WilsonStoppingRule | None = None,
+    checkpoint: Any | None = None,
+    packed: bool = True,
+    decoder_name: str | None = None,
+    on_complete: Callable[[Any], None] | None = None,
+) -> SweepPoint:
+    """A memory-experiment :class:`SweepPoint` finalising to the same
+    :class:`~repro.simulation.memory.MemoryExperimentResult` the per-point
+    runners (:func:`~repro.simulation.shard.run_memory_experiment_sharded` /
+    ``_adaptive``) produce — field for field."""
+    rounds = _resolve_rounds(code, rounds)
+    kernel = MemoryKernel(code, noise, decoder_factory, rounds, stype, packed=packed)
+
+    def finalize(outcome: PointOutcome):
+        from repro.simulation.memory import MemoryExperimentResult
+
+        (
+            failures,
+            onchip_rounds,
+            total_rounds,
+            kernel_name,
+            tier_names,
+            tier_trials,
+            tier_rounds,
+        ) = outcome.value
+        return MemoryExperimentResult(
+            physical_error_rate=noise.data_error_rate,
+            code_distance=code.distance,
+            rounds=rounds,
+            trials=outcome.trials,
+            logical_failures=failures,
+            decoder_name=decoder_name or kernel_name,
+            onchip_rounds=onchip_rounds,
+            total_rounds=total_rounds,
+            tier_names=tier_names,
+            tier_trials=tier_trials,
+            tier_rounds=tier_rounds,
+            engine_degraded=outcome.engine_degraded,
+            skipped_shards=outcome.skipped_shards,
+            skipped_trials=outcome.skipped_trials,
+        )
+
+    return SweepPoint(
+        point_id=point_id,
+        kernel=kernel,
+        trials=trials if stop is None else stop.max_trials,
+        seed=seed,
+        chunk_trials=chunk_trials,
+        merge=merge_memory_counts,
+        stop=stop,
+        successes_of=_memory_successes if stop is not None else None,
+        checkpoint=checkpoint,
+        finalize=finalize,
+        on_complete=on_complete,
+    )
+
+
+def coverage_point(
+    point_id: str,
+    code: Any,
+    noise: Any,
+    *,
+    cycles: int,
+    seed: int | None,
+    measurement_rounds: int = 2,
+    stype: StabilizerType = StabilizerType.X,
+    batch_size: int = 50_000,
+    chunk_cycles: int | None = None,
+    stop: WilsonStoppingRule | None = None,
+    checkpoint: Any | None = None,
+    on_complete: Callable[[Any], None] | None = None,
+) -> SweepPoint:
+    """A clique-coverage :class:`SweepPoint` finalising to the same
+    :class:`~repro.simulation.coverage.CoverageResult` that
+    :func:`~repro.simulation.coverage.simulate_clique_coverage` produces."""
+    from repro.simulation.coverage import (
+        DEFAULT_SHARD_CYCLES,
+        CoverageKernel,
+        CoverageResult,
+        _coverage_successes,
+    )
+
+    chunk = chunk_cycles if chunk_cycles is not None else DEFAULT_SHARD_CYCLES
+    kernel = CoverageKernel(code, noise, stype, measurement_rounds, batch_size)
+
+    def finalize(outcome: PointOutcome):
+        onchip, all_zero, counted = outcome.value
+        return CoverageResult(
+            physical_error_rate=noise.data_error_rate,
+            code_distance=code.distance,
+            measurement_rounds=measurement_rounds,
+            cycles=counted,
+            onchip_cycles=onchip,
+            all_zero_cycles=all_zero,
+        )
+
+    return SweepPoint(
+        point_id=point_id,
+        kernel=kernel,
+        trials=cycles if stop is None else stop.max_trials,
+        seed=seed,
+        chunk_trials=chunk,
+        merge=merge_counts,
+        stop=stop,
+        successes_of=_coverage_successes if stop is not None else None,
+        checkpoint=checkpoint,
+        finalize=finalize,
+        on_complete=on_complete,
+    )
+
+
+__all__ = [
+    "SCHEDULE_MODES",
+    "PointOutcome",
+    "SweepPoint",
+    "SweepScheduler",
+    "coverage_point",
+    "memory_point",
+    "validate_schedule",
+]

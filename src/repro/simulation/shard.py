@@ -123,6 +123,48 @@ def merge_counts(left: tuple, right: tuple) -> tuple:
     return tuple(a + b for a, b in zip(left, right))
 
 
+#: Sentinel accepted by the ``chunk_trials`` / ``chunk_cycles`` knobs of the
+#: sharded runners: resolve the shard size from the budget, the worker count,
+#: and the code distance (see :func:`resolve_auto_chunk`).
+AUTO_CHUNK = "auto"
+
+#: Smallest shard :func:`resolve_auto_chunk` will pick: below this the
+#: per-shard fixed costs (process dispatch, decoder construction, batch
+#: engine setup) stop amortising.
+_AUTO_CHUNK_FLOOR = 50
+
+
+def resolve_auto_chunk(
+    trials: int,
+    workers: int | None,
+    distance: int | None = None,
+    default: int = DEFAULT_SHARD_TRIALS,
+    floor: int = _AUTO_CHUNK_FLOOR,
+) -> int:
+    """Pick a shard size from the budget, worker count, and code distance.
+
+    Two pressures, both about keeping a shared pool busy: shards must be
+    numerous enough that a point yields at least ``2 * workers`` of them (so
+    the sweep scheduler always has work to interleave behind another point's
+    tail), and — since per-trial cost grows steeply with distance — large
+    distances get proportionally smaller shards so one slow shard cannot
+    stall the merge.  The result is clamped to ``[1, default]`` and respects
+    ``floor`` where the budget allows; it depends only on
+    ``(trials, workers, distance)``, so the resolved value is recorded in the
+    store key (the spelling ``"auto"`` itself never is — it is
+    machine-dependent via ``workers``).
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    workers = _resolve_workers(workers)
+    cap = default
+    if distance is not None and distance > 0:
+        cap = max(floor, min(default, (4 * default) // distance))
+    # ceil(trials / (2 * workers)) without floats: >= 2*workers shards.
+    target = -(-trials // (2 * workers))
+    return max(1, min(cap, target))
+
+
 def _resolve_seed(seed: int | None) -> int:
     if isinstance(seed, np.random.Generator):
         raise ConfigurationError(
@@ -280,6 +322,25 @@ def _deep_tuple(value: Any) -> Any:
     return value
 
 
+def _checkpoint_state(
+    seed: int, chunk_trials: int, trials_done: int, next_index: int, merged: Any
+) -> dict:
+    """The adaptive checkpoint payload — one layout for every writer.
+
+    Both :func:`run_sharded_adaptive` and the sweep scheduler save through
+    this builder, so a point's checkpoint file is byte-identical whichever
+    engine wrote it and either can resume the other's.
+    """
+    return {
+        "version": CHECKPOINT_STATE_VERSION,
+        "seed": seed,
+        "chunk_trials": chunk_trials,
+        "trials_done": trials_done,
+        "next_index": next_index,
+        "merged": list(merged) if isinstance(merged, tuple) else merged,
+    }
+
+
 def _load_checkpoint_state(
     checkpoint: Any, seed: int, chunk_trials: int
 ) -> tuple[Any, int, int] | None:
@@ -410,14 +471,7 @@ def run_sharded_adaptive(
                 merged = outcome if merged is None else merge(merged, outcome)
             if checkpoint is not None:
                 checkpoint.save(
-                    {
-                        "version": CHECKPOINT_STATE_VERSION,
-                        "seed": seed,
-                        "chunk_trials": chunk_trials,
-                        "trials_done": trials_done,
-                        "next_index": next_index,
-                        "merged": list(merged) if isinstance(merged, tuple) else merged,
-                    }
+                    _checkpoint_state(seed, chunk_trials, trials_done, next_index, merged)
                 )
     successes = successes_of(merged)
     return AdaptiveShardRun(
@@ -648,6 +702,7 @@ def run_memory_experiment_adaptive(
 
 
 __all__ = [
+    "AUTO_CHUNK",
     "CHECKPOINT_STATE_VERSION",
     "DEFAULT_SHARD_TRIALS",
     "AdaptiveShardRun",
@@ -655,6 +710,7 @@ __all__ = [
     "merge_counts",
     "merge_memory_counts",
     "plan_shards",
+    "resolve_auto_chunk",
     "run_sharded",
     "run_sharded_adaptive",
     "run_memory_experiment_adaptive",

@@ -58,6 +58,8 @@ KEY_EXCLUDED: dict[str, str] = {
     "fault_report": "output-only execution-provenance sink",
     "fault_injector": "test-only injection; recovered runs are bit-identical",
     "packed": "bitplane and uint8 kernels are bit-identical under one seed",
+    "schedule": "dispatch interleaving only: scheduled and per-point sweeps "
+    "merge identical shard streams in identical order",
 }
 
 

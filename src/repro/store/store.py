@@ -431,22 +431,36 @@ class SweepCache:
         self, config: Mapping[str, Any], seed: int, compute: Callable[[], Any]
     ) -> Any:
         """Return the stored result for this point, or compute and store it."""
-        if self.store is None:
-            self.computed += 1
-            return compute()
-        key = self.key(config, seed)
-        if not self.force:
-            cached = self.store.get(key)
-            if cached is not None:
-                self.hits += 1
-                return cached
-        result = compute()
+        cached = self.lookup(config, seed)
+        if cached is not None:
+            return cached
+        return self.finish(config, seed, compute())
+
+    def lookup(self, config: Mapping[str, Any], seed: int) -> Any | None:
+        """The stored result for this point, or ``None`` if it must be computed.
+
+        One half of :meth:`point`, split out for the sweep scheduler: a
+        sweep runner probes every point first, schedules only the misses, and
+        hands each finished result to :meth:`finish` the moment it lands.
+        """
+        if self.store is None or self.force:
+            return None
+        cached = self.store.get(self.key(config, seed))
+        if cached is not None:
+            self.hits += 1
+        return cached
+
+    def finish(self, config: Mapping[str, Any], seed: int, result: Any) -> Any:
+        """Record a freshly computed point: persist it and clear its checkpoint."""
         self.computed += 1
+        if self.store is None:
+            return result
         if getattr(result, "skipped_trials", 0):
             # Incomplete (shards were skipped): surface it to the caller but
             # keep it out of the store — and keep the adaptive checkpoint, so
             # a healthier re-run resumes rather than restarting.
             return result
+        key = self.key(config, seed)
         self.store.put(key, result)
         # Only now that the result is durably stored may the point's adaptive
         # checkpoint go: clearing any earlier (e.g. inside the adaptive

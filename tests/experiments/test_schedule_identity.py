@@ -1,0 +1,133 @@
+"""Scheduled sweeps are byte-identical to sequential per-point sweeps.
+
+The tentpole acceptance tests: fig11 and fig14 run against separate result
+stores under ``schedule="sweep"`` (one persistent pool, shards interleaved
+across points) and ``schedule="point"`` (the legacy pool-per-point path), at
+workers 1 and 4, fixed-budget and Wilson-adaptive — and after ``store
+compact`` the two ``results.jsonl`` files must be **byte-identical**.  The
+chaos case SIGKILLs a worker mid-sweep on one specific point (the ``point
+<p>`` plan qualifier) and still demands fault-free bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig11 import run as fig11_run
+from repro.experiments.fig14 import run as fig14_run
+from repro.faults import FAULT_PLAN_ENV
+from repro.store import ResultStore
+
+
+def compacted_bytes(root):
+    ResultStore(root).compact()
+    return (root / "results.jsonl").read_bytes()
+
+
+def run_fig14(store, schedule, workers, adaptive=False, **overrides):
+    params = dict(
+        trials=60,
+        seed=17,
+        distances=(3, 5),
+        error_rates=(1e-2,),
+        engine="sharded",
+        workers=workers,
+        chunk_trials=10,
+        schedule=schedule,
+        store=store,
+    )
+    if adaptive:
+        params.update(target_ci_width=0.2, min_trials=20)
+    params.update(overrides)
+    return fig14_run(**params)
+
+
+def run_fig11(store, schedule, workers, adaptive=False):
+    params = dict(
+        cycles=3_000,
+        seed=23,
+        distances=(3, 5),
+        error_rates=(1e-3, 1e-2),
+        workers=workers,
+        chunk_cycles=500,
+        schedule=schedule,
+        store=store,
+    )
+    if adaptive:
+        params.update(target_ci_width=0.05)
+    return fig11_run(**params)
+
+
+class TestFig14ScheduleIdentity:
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_sweep_equals_point_bytes(self, tmp_path, workers, adaptive):
+        sequential = run_fig14(tmp_path / "point", "point", workers, adaptive)
+        scheduled = run_fig14(tmp_path / "sweep", "sweep", workers, adaptive)
+        assert scheduled.rows == sequential.rows
+        assert compacted_bytes(tmp_path / "sweep") == compacted_bytes(
+            tmp_path / "point"
+        )
+
+    def test_default_schedule_is_sweep_for_sharded_runs(self, tmp_path):
+        defaulted = run_fig14(tmp_path / "default", None, 2)
+        explicit = run_fig14(tmp_path / "sweep", "sweep", 2)
+        assert defaulted.rows == explicit.rows
+        assert compacted_bytes(tmp_path / "default") == compacted_bytes(
+            tmp_path / "sweep"
+        )
+
+    def test_scheduled_sweep_resumes_from_partial_store(self, tmp_path):
+        # A store holding only the d=3 points (from a narrower earlier run)
+        # must hit for those and schedule only the d=5 points.
+        store = tmp_path / "store"
+        run_fig14(store, "sweep", 2, distances=(3,))
+        full = run_fig14(store, "sweep", 2)
+        fresh = run_fig14(tmp_path / "fresh", "sweep", 2)
+        assert full.rows == fresh.rows
+        assert compacted_bytes(store) == compacted_bytes(tmp_path / "fresh")
+
+    def test_auto_chunk_identity_across_workers(self, tmp_path):
+        # chunk="auto" resolves per (budget, workers, distance) — the worker
+        # count enters the *chunk*, so stores only match at equal workers;
+        # pin that the resolved-auto run equals its explicit-chunk twin.
+        auto = run_fig14(tmp_path / "auto", "sweep", 2, chunk_trials="auto")
+        # trials=60, workers=2 -> ceil(60/4) = 15 for both distances.
+        explicit = run_fig14(tmp_path / "explicit", "sweep", 2, chunk_trials=15)
+        assert auto.rows == explicit.rows
+        assert compacted_bytes(tmp_path / "auto") == compacted_bytes(
+            tmp_path / "explicit"
+        )
+
+
+class TestFig11ScheduleIdentity:
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_sweep_equals_point_bytes(self, tmp_path, workers, adaptive):
+        sequential = run_fig11(tmp_path / "point", "point", workers, adaptive)
+        scheduled = run_fig11(tmp_path / "sweep", "sweep", workers, adaptive)
+        assert scheduled.rows == sequential.rows
+        assert compacted_bytes(tmp_path / "sweep") == compacted_bytes(
+            tmp_path / "point"
+        )
+
+
+class TestScheduledChaos:
+    def test_cross_point_kill_mid_sweep_is_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        # SIGKILL the worker running shard 2 of the *second* scheduled point
+        # (d=3 hierarchy run) while shards of other points share the pool:
+        # the broken pool is respawned, the shard replays its stream, and the
+        # store converges to fault-free bytes.
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        clean = run_fig14(tmp_path / "clean", "sweep", 4)
+        monkeypatch.setenv(FAULT_PLAN_ENV, "point 1 shard 2 attempt 0 kill")
+        faulted = run_fig14(
+            tmp_path / "faulted", "sweep", 4, max_retries=3, shard_timeout=5.0
+        )
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        assert faulted.rows == clean.rows
+        assert compacted_bytes(tmp_path / "faulted") == compacted_bytes(
+            tmp_path / "clean"
+        )

@@ -49,6 +49,11 @@ FIG14_PARAMS = dict(
     error_rates=(1e-2, 2e-2),
     workers=1,
     seed=11,
+    # Pin the per-point dispatch path: these tests count
+    # ``run_memory_experiment`` invocations, which the default sweep
+    # schedule replaces with scheduler tasks (its resume behaviour is
+    # pinned in test_schedule_identity.py).
+    schedule="point",
 )
 FIG14_POINTS = 2 * 2 * 2  # distances x rates x decoders
 

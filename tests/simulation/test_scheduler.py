@@ -1,0 +1,333 @@
+"""Sweep scheduler: byte-equality with the per-point runners, by construction.
+
+The core claim under test: :class:`~repro.simulation.SweepScheduler` only
+changes *when* shards execute — never which shards exist, which RNG streams
+they draw, or the order partials merge — so every scheduled point equals its
+per-point :func:`~repro.simulation.run_sharded` /
+:func:`~repro.simulation.run_sharded_adaptive` run exactly, at any worker
+count, checkpoints included.  Plus the satellite contracts: one pool per
+sweep (not per point), ``chunk="auto"`` resolution, the executor's dynamic
+task feed, and the point-qualified fault-plan grammar.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    FaultInjector,
+    FaultPolicy,
+    ShardExecutor,
+    parse_fault_plan,
+    pool_construction_count,
+)
+from repro.simulation import (
+    SweepPoint,
+    SweepScheduler,
+    resolve_auto_chunk,
+    run_sharded,
+    run_sharded_adaptive,
+    until_wilson,
+)
+from repro.simulation.scheduler import validate_schedule
+from shard_kernels import BernoulliKernel, bernoulli_successes
+
+
+class RecordingCheckpoint:
+    """In-memory checkpoint capturing every saved state, in order."""
+
+    def __init__(self, state=None):
+        self.saves = []
+        self.state = state
+
+    def save(self, state):
+        self.saves.append(state)
+        self.state = state
+
+    def load(self):
+        return self.state
+
+    def clear(self):
+        self.state = None
+
+
+def fixed_point(point_id, rate, trials, seed, chunk):
+    return SweepPoint(
+        point_id=point_id,
+        kernel=BernoulliKernel(rate),
+        trials=trials,
+        seed=seed,
+        chunk_trials=chunk,
+    )
+
+
+def adaptive_point(point_id, rate, stop, seed, chunk, checkpoint=None):
+    return SweepPoint(
+        point_id=point_id,
+        kernel=BernoulliKernel(rate),
+        trials=stop.max_trials,
+        seed=seed,
+        chunk_trials=chunk,
+        stop=stop,
+        successes_of=bernoulli_successes,
+        checkpoint=checkpoint,
+    )
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_fixed_point_matches_run_sharded(self, workers):
+        expected = run_sharded(
+            BernoulliKernel(0.3), trials=370, seed=11, chunk_trials=40, workers=1
+        )
+        outcome = SweepScheduler(workers=workers).run(
+            [fixed_point("p", 0.3, 370, 11, 40)]
+        )["p"]
+        assert outcome.value == expected
+        assert outcome.trials == 370
+        assert outcome.shards == 10  # 9 full + 1 remainder shard
+        assert outcome.skipped_shards == 0
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_adaptive_point_matches_run_sharded_adaptive(self, workers):
+        stop = until_wilson(0.08, min_trials=60, max_trials=2000)
+        expected = run_sharded_adaptive(
+            BernoulliKernel(0.2),
+            stop=stop,
+            successes_of=bernoulli_successes,
+            seed=5,
+            chunk_trials=25,
+            workers=1,
+        )
+        outcome = SweepScheduler(workers=workers).run(
+            [adaptive_point("p", 0.2, stop, 5, 25)]
+        )["p"]
+        assert outcome.value == expected.value
+        assert outcome.trials == expected.trials
+        assert outcome.successes == expected.successes
+        assert outcome.interval == expected.interval
+        assert outcome.shards == expected.shards
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_interleaved_mixed_sweep_matches_sequential_points(self, workers):
+        stop = until_wilson(0.1, min_trials=50, max_trials=1000)
+        points = [
+            fixed_point("a", 0.4, 300, 1, 30),
+            adaptive_point("b", 0.15, stop, 2, 20),
+            fixed_point("c", 0.05, 155, 3, 50),
+        ]
+        results = SweepScheduler(workers=workers).run(points)
+        assert results["a"].value == run_sharded(
+            BernoulliKernel(0.4), trials=300, seed=1, chunk_trials=30, workers=1
+        )
+        expected_b = run_sharded_adaptive(
+            BernoulliKernel(0.15),
+            stop=stop,
+            successes_of=bernoulli_successes,
+            seed=2,
+            chunk_trials=20,
+            workers=1,
+        )
+        assert results["b"].value == expected_b.value
+        assert results["b"].trials == expected_b.trials
+        assert results["c"].value == run_sharded(
+            BernoulliKernel(0.05), trials=155, seed=3, chunk_trials=50, workers=1
+        )
+
+    def test_adaptive_checkpoint_states_match_per_point_runner(self):
+        # The scheduler must save byte-for-byte the states the per-point
+        # runner saves: same layout, same wave boundaries, same merged counts.
+        stop = until_wilson(0.08, min_trials=60, max_trials=2000)
+        reference = RecordingCheckpoint()
+        run_sharded_adaptive(
+            BernoulliKernel(0.2),
+            stop=stop,
+            successes_of=bernoulli_successes,
+            seed=5,
+            chunk_trials=25,
+            workers=1,
+            checkpoint=reference,
+        )
+        scheduled = RecordingCheckpoint()
+        SweepScheduler(workers=2).run(
+            [adaptive_point("p", 0.2, stop, 5, 25, checkpoint=scheduled)]
+        )
+        assert scheduled.saves == reference.saves
+
+    def test_adaptive_point_resumes_from_checkpoint(self):
+        stop = until_wilson(0.08, min_trials=60, max_trials=2000)
+        full = RecordingCheckpoint()
+        expected = SweepScheduler(workers=1).run(
+            [adaptive_point("p", 0.2, stop, 5, 25, checkpoint=full)]
+        )["p"]
+        # Resume from the first saved wave: the tail must replay identically.
+        resumed = SweepScheduler(workers=2).run(
+            [
+                adaptive_point(
+                    "p", 0.2, stop, 5, 25, checkpoint=RecordingCheckpoint(full.saves[0])
+                )
+            ]
+        )["p"]
+        assert resumed.value == expected.value
+        assert resumed.trials == expected.trials
+        assert resumed.interval == expected.interval
+
+
+class TestSchedulerPoolReuse:
+    def test_one_pool_for_the_whole_sweep(self):
+        points = [fixed_point(str(i), 0.2, 120, i, 30) for i in range(3)]
+        before = pool_construction_count()
+        SweepScheduler(workers=2).run(points)
+        assert pool_construction_count() - before == 1
+
+    def test_per_point_runners_build_one_pool_each(self):
+        before = pool_construction_count()
+        for i in range(3):
+            run_sharded(BernoulliKernel(0.2), trials=120, seed=i, chunk_trials=30, workers=2)
+        assert pool_construction_count() - before == 3
+
+    def test_sequential_path_builds_no_pool(self):
+        before = pool_construction_count()
+        SweepScheduler(workers=1).run([fixed_point("p", 0.2, 120, 7, 30)])
+        assert pool_construction_count() - before == 0
+
+
+class TestSchedulerValidation:
+    def test_duplicate_point_ids_rejected(self):
+        points = [fixed_point("p", 0.2, 100, 1, 50), fixed_point("p", 0.3, 100, 2, 50)]
+        with pytest.raises(ConfigurationError, match="unique"):
+            SweepScheduler(workers=1).run(points)
+
+    def test_adaptive_point_requires_successes_of(self):
+        point = SweepPoint(
+            point_id="p",
+            kernel=BernoulliKernel(0.2),
+            trials=100,
+            seed=1,
+            chunk_trials=50,
+            stop=until_wilson(0.1, min_trials=50, max_trials=100),
+        )
+        with pytest.raises(ConfigurationError, match="successes_of"):
+            SweepScheduler(workers=1).run([point])
+
+    def test_empty_sweep_is_a_no_op(self):
+        assert SweepScheduler(workers=4).run([]) == {}
+
+    def test_validate_schedule(self):
+        assert validate_schedule("sweep") == "sweep"
+        assert validate_schedule("point") == "point"
+        with pytest.raises(ConfigurationError, match="schedule"):
+            validate_schedule("turbo")
+
+
+class TestAutoChunk:
+    def test_short_high_distance_point_still_fans_out(self):
+        # d=11 paper budget: 1000 trials at 4 workers -> 8 shards of 125.
+        assert resolve_auto_chunk(1_000, 4, 11) == 125
+
+    def test_large_low_distance_point_keeps_big_shards(self):
+        # d=3 paper budget: the per-distance cap (4*default/3) exceeds the
+        # default, so the default 500-trial shard size wins.
+        assert resolve_auto_chunk(20_000, 4, 3) == 500
+
+    @pytest.mark.parametrize("trials", [400, 1_000, 5_000])
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    @pytest.mark.parametrize("distance", [3, 7, 11, 21])
+    def test_at_least_two_shards_per_worker(self, trials, workers, distance):
+        from repro.simulation.shard import plan_shards
+
+        chunk = resolve_auto_chunk(trials, workers, distance)
+        assert len(plan_shards(trials, chunk)) >= 2 * workers
+
+    def test_floor_bounds_the_distance_scaling(self):
+        # Even at extreme distances the chunk never collapses below the floor
+        # (per-shard decoder construction must stay amortised).
+        assert resolve_auto_chunk(100_000, 2, 101) >= 50
+
+    def test_tiny_budget_degenerates_to_one_trial_chunks(self):
+        assert resolve_auto_chunk(1, 8, 3) == 1
+
+    def test_rejects_nonpositive_trials(self):
+        with pytest.raises(ConfigurationError):
+            resolve_auto_chunk(0, 4, 3)
+
+
+class TestRunDynamic:
+    def test_on_complete_feeds_follow_up_tasks(self):
+        kernel = BernoulliKernel(0.3)
+        followed = []
+
+        def on_complete(index, outcome):
+            followed.append((index, outcome))
+            if index == 0:
+                # One follow-up wave appended mid-run: shard index 2 of the
+                # same stream family.
+                return [(kernel, 40, 9, 2)]
+            return None
+
+        with ShardExecutor(workers=2, policy=FaultPolicy(max_retries=0)) as executor:
+            results = executor.run_dynamic(
+                [(kernel, 40, 9, 0), (kernel, 40, 9, 1)], on_complete
+            )
+        assert len(results) == 3
+        assert sorted(index for index, _ in followed) == [0, 1, 2]
+        # Every task's result is the same pure function of (seed, shard index)
+        # the static runner computes.
+        expected = [
+            run_sharded(kernel, trials=40, seed=9, chunk_trials=40, workers=1)
+        ]
+        assert results[0] == expected[0]
+
+    def test_sequential_and_pooled_feeds_agree(self):
+        kernel = BernoulliKernel(0.2)
+
+        def feeder(index, outcome):
+            return [(kernel, 30, 4, 3)] if index == 1 else None
+
+        tasks = [(kernel, 30, 4, 0), (kernel, 30, 4, 1), (kernel, 30, 4, 2)]
+        with ShardExecutor(workers=1, policy=FaultPolicy(max_retries=0)) as seq:
+            sequential = seq.run_dynamic(list(tasks), feeder)
+        with ShardExecutor(workers=3, policy=FaultPolicy(max_retries=0)) as pooled:
+            parallel = pooled.run_dynamic(list(tasks), feeder)
+        assert sequential == parallel
+
+
+class TestPointQualifiedFaults:
+    def test_grammar_parses_point_prefix(self):
+        plan = parse_fault_plan("point 1 shard 0 raise; shard 2 kill")
+        qualified, wildcard = plan.shard_faults
+        assert qualified.point_index == 1
+        assert qualified.shard_index == 0
+        assert wildcard.point_index is None
+
+    def test_qualified_fault_matches_only_its_point(self):
+        plan = parse_fault_plan("point 1 shard 0 attempt 0 raise")
+        fault = plan.shard_faults[0]
+        assert fault.matches(0, 0, point_index=1)
+        assert not fault.matches(0, 0, point_index=0)
+        assert not fault.matches(0, 0, point_index=None)
+
+    def test_unqualified_fault_matches_every_point(self):
+        plan = parse_fault_plan("shard 3 attempt 0 kill")
+        fault = plan.shard_faults[0]
+        assert fault.matches(3, 0, point_index=0)
+        assert fault.matches(3, 0, point_index=7)
+        assert fault.matches(3, 0)
+
+    def test_scheduled_sweep_recovers_point_targeted_fault(self):
+        # A raise pinned to point 1's shard 0: the retry replays the stream
+        # bit-identically, so the whole sweep equals the fault-free one.
+        points = [fixed_point(str(i), 0.25, 90, 40 + i, 30) for i in range(3)]
+        clean = SweepScheduler(workers=2).run(
+            [fixed_point(str(i), 0.25, 90, 40 + i, 30) for i in range(3)]
+        )
+        injector = FaultInjector(parse_fault_plan("point 1 shard 0 attempt 0 raise"))
+        faulted = SweepScheduler(
+            workers=2,
+            faults=FaultPolicy(max_retries=2),
+            fault_injector=injector,
+        ).run(points)
+        assert {k: v.value for k, v in faulted.items()} == {
+            k: v.value for k, v in clean.items()
+        }
